@@ -1,0 +1,195 @@
+//! Multi-chip scale-out of SUSHI arrays.
+//!
+//! TrueNorth supports "multi-chip expansion", and the paper notes
+//! SUSHI's architecture is "scalable, with the circuit scale further
+//! compressible or expandable". This module models a board of SUSHI dies
+//! connected by inter-chip links: chips partition a network's column
+//! blocks, spike traffic between layers crosses the link fabric, and the
+//! cryostat's fixed overhead amortises across dies.
+//!
+//! Inter-chip links leave the superconducting domain through SFQ/DC
+//! drivers, so they are orders of magnitude slower than on-die pulses —
+//! the model exposes exactly when scale-out stops paying.
+
+use crate::chip::ChipDesign;
+use crate::power::PerfModel;
+use crate::ChipConfig;
+use sushi_cells::params::FIXED_CHIP_POWER_MW;
+
+/// Per-link bandwidth of the inter-chip fabric, in spikes per second.
+/// SFQ/DC conversion plus board traces cap links in the tens of Gb/s.
+pub const LINK_SPIKES_PER_S: f64 = 2.5e10;
+
+/// Links per chip (one per die edge).
+pub const LINKS_PER_CHIP: usize = 4;
+
+/// Power of one active inter-chip link driver in mW (dominated by the
+/// room-temperature-interface amplifiers).
+pub const LINK_POWER_MW: f64 = 1.5;
+
+/// A board of identical SUSHI dies.
+///
+/// # Examples
+///
+/// ```
+/// use sushi_arch::scaleout::MultiChip;
+///
+/// let board = MultiChip::new(4, 16);
+/// assert_eq!(board.chips(), 4);
+/// // Four dies quadruple on-die synaptic throughput.
+/// let single = MultiChip::new(1, 16);
+/// assert!(board.aggregate_gsops() > 3.9 * single.aggregate_gsops());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChip {
+    chips: usize,
+    design: ChipDesign,
+}
+
+impl MultiChip {
+    /// A board of `chips` dies, each an `n x n` bare mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0` or `n == 0`.
+    pub fn new(chips: usize, n: usize) -> Self {
+        assert!(chips > 0, "a board needs at least one chip");
+        Self { chips, design: ChipConfig::mesh(n).build() }
+    }
+
+    /// Number of dies.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// The per-die design.
+    pub fn design(&self) -> &ChipDesign {
+        &self.design
+    }
+
+    /// Total Josephson junctions across the board.
+    pub fn total_jj(&self) -> u64 {
+        self.design.resources().total_jj() * self.chips as u64
+    }
+
+    /// Aggregate on-die peak throughput (GSOPS): dies run independent
+    /// column blocks in parallel.
+    pub fn aggregate_gsops(&self) -> f64 {
+        PerfModel::new(&self.design).gsops() * self.chips as f64
+    }
+
+    /// Aggregate inter-chip bandwidth in spikes per second.
+    pub fn link_bandwidth(&self) -> f64 {
+        LINK_SPIKES_PER_S * (LINKS_PER_CHIP * self.chips) as f64
+    }
+
+    /// Board power in mW: per-die power, minus the fixed cryostat overhead
+    /// counted once instead of per die, plus link drivers.
+    pub fn power_mw(&self) -> f64 {
+        let per_die = PerfModel::new(&self.design).power_mw();
+        let dies = per_die * self.chips as f64;
+        let shared_overhead_savings = FIXED_CHIP_POWER_MW * (self.chips as f64 - 1.0);
+        let links = LINK_POWER_MW * (LINKS_PER_CHIP * self.chips) as f64;
+        dies - shared_overhead_savings + links
+    }
+
+    /// Board power efficiency in GSOPS/W (peak, ignoring link stalls).
+    pub fn gsops_per_w(&self) -> f64 {
+        self.aggregate_gsops() / (self.power_mw() * 1e-3)
+    }
+
+    /// Sustained throughput for a workload whose layer boundaries push
+    /// `boundary_spike_fraction` of all synaptic results across chips:
+    /// the board stalls when the link fabric, not the synaptic pipeline,
+    /// is the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `[0, 1]`.
+    pub fn sustained_gsops(&self, boundary_spike_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&boundary_spike_fraction),
+            "fraction must be in [0, 1]"
+        );
+        let peak = self.aggregate_gsops() * 1e9;
+        if boundary_spike_fraction == 0.0 || self.chips == 1 {
+            return peak / 1e9;
+        }
+        // Spikes needing a hop per second at full rate:
+        let crossing = peak * boundary_spike_fraction;
+        let limit = self.link_bandwidth();
+        let derate = (limit / crossing).min(1.0);
+        peak * derate / 1e9
+    }
+
+    /// The break-even boundary fraction: above it, adding this board's
+    /// dies no longer increases sustained throughput over a single die.
+    pub fn break_even_fraction(&self) -> f64 {
+        if self.chips == 1 {
+            return 1.0;
+        }
+        let single = PerfModel::new(&self.design).gsops() * 1e9;
+        // sustained(board) == single  <=>  link_bw / f == single.
+        (self.link_bandwidth() / single).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_scales_linearly() {
+        let one = MultiChip::new(1, 16);
+        let four = MultiChip::new(4, 16);
+        assert!((four.aggregate_gsops() / one.aggregate_gsops() - 4.0).abs() < 1e-9);
+        assert_eq!(four.total_jj(), 4 * one.total_jj());
+    }
+
+    #[test]
+    fn shared_cryostat_improves_efficiency() {
+        let one = MultiChip::new(1, 16);
+        let four = MultiChip::new(4, 16);
+        // Four dies draw less than 4x one die's power (shared overhead),
+        // even after paying for links.
+        assert!(four.power_mw() < 4.0 * one.power_mw());
+        assert!(four.gsops_per_w() > one.gsops_per_w());
+    }
+
+    #[test]
+    fn local_workloads_scale_remote_ones_stall() {
+        let board = MultiChip::new(8, 16);
+        let single = MultiChip::new(1, 16);
+        // Fully local: full aggregate throughput.
+        assert!((board.sustained_gsops(0.0) - board.aggregate_gsops()).abs() < 1e-9);
+        // Heavily communicating: the link fabric caps throughput.
+        let heavy = board.sustained_gsops(0.5);
+        assert!(heavy < board.aggregate_gsops() * 0.25, "sustained {heavy}");
+        // But a board never does worse than its links allow.
+        assert!(heavy * 1e9 <= board.link_bandwidth() / 0.5 * 1.0001);
+        let _ = single;
+    }
+
+    #[test]
+    fn break_even_fraction_is_meaningful() {
+        let board = MultiChip::new(4, 16);
+        let f = board.break_even_fraction();
+        assert!(f > 0.0 && f <= 1.0);
+        // Below break-even the board beats one die.
+        let single = MultiChip::new(1, 16);
+        let below = (f * 0.5).max(1e-3);
+        assert!(board.sustained_gsops(below) > single.aggregate_gsops());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_panics() {
+        let _ = MultiChip::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let _ = MultiChip::new(2, 8).sustained_gsops(1.5);
+    }
+}

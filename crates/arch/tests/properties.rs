@@ -1,0 +1,142 @@
+//! Property-based tests on the architecture models.
+
+use proptest::prelude::*;
+use sushi_arch::chip::{ChipConfig, WeightConfig};
+use sushi_arch::npe::{BioNeuron, BioPhase, NpeChain};
+use sushi_arch::scaleout::MultiChip;
+use sushi_arch::weight::WeightStructure;
+use sushi_arch::PerfModel;
+
+proptest! {
+    /// The NPE chain is arithmetic modulo 2^k: any interleaving of
+    /// increments and decrements lands on (preload + sum) mod 2^k.
+    #[test]
+    fn chain_is_modular_arithmetic(
+        k in 2usize..8,
+        preload_frac in 0.0f64..1.0,
+        ops in prop::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let states = 1u64 << k;
+        let preload = ((states - 1) as f64 * preload_frac) as u64;
+        let mut chain = NpeChain::new(k);
+        chain.preload(preload);
+        let mut expected = i128::from(preload);
+        for &up in &ops {
+            if up {
+                chain.set_increment();
+                expected += 1;
+            } else {
+                chain.set_decrement();
+                expected -= 1;
+            }
+            chain.pulse_in();
+        }
+        let m = i128::from(states);
+        let expected_mod = ((expected % m) + m) % m;
+        prop_assert_eq!(i128::from(chain.value()), expected_mod);
+    }
+
+    /// preload_threshold fires on exactly the threshold-th pulse and on
+    /// every 2^k-th pulse after.
+    #[test]
+    fn threshold_firing_is_periodic(k in 2usize..8, tsel in 0.0f64..1.0, extra in 0usize..40) {
+        let states = 1u64 << k;
+        let threshold = 1 + ((states - 1) as f64 * tsel) as u64;
+        let mut chain = NpeChain::new(k);
+        chain.preload_threshold(threshold);
+        let total = threshold as usize + extra;
+        let fired: Vec<usize> = (1..=total).filter(|_| chain.pulse_in()).collect();
+        prop_assert!(fired.contains(&(threshold as usize)));
+        for f in &fired {
+            prop_assert_eq!((*f as u64 + states - threshold) % states, 0, "fire at {}", f);
+        }
+    }
+
+    /// The biological neuron emits at most one spike per full cycle and
+    /// always returns to rest under sustained time stimulus.
+    #[test]
+    fn bio_neuron_cycles_to_rest(threshold in 1u32..20, rising in 1u32..8, falling in 0u32..8) {
+        let mut n = BioNeuron::new(threshold, rising, falling);
+        for _ in 0..threshold {
+            n.on_spike();
+        }
+        let mut spikes = 0u32;
+        for _ in 0..(threshold + rising + falling + 8) {
+            spikes += u32::from(n.on_time());
+        }
+        prop_assert_eq!(spikes, 1);
+        prop_assert_eq!(n.phase(), BioPhase::Below(0));
+    }
+
+    /// Under-threshold spike counts always leak back to rest.
+    #[test]
+    fn bio_neuron_leaks_to_rest(threshold in 2u32..20, partial in 1u32..19) {
+        let partial = partial.min(threshold - 1);
+        let mut n = BioNeuron::new(threshold, 2, 2);
+        for _ in 0..partial {
+            n.on_spike();
+        }
+        let mut fired = false;
+        for _ in 0..partial + 2 {
+            fired |= n.on_time();
+        }
+        prop_assert!(!fired, "failed initiation must not fire");
+        prop_assert_eq!(n.phase(), BioPhase::Below(0));
+    }
+
+    /// Pulse-gain amplification is linear in the input pulse count.
+    #[test]
+    fn weight_gain_is_linear(max_gain in 1u32..32, gain_sel in 0.0f64..1.0, a in 0u64..1000, b in 0u64..1000) {
+        let gain = 1 + ((max_gain - 1) as f64 * gain_sel) as u32;
+        let mut w = WeightStructure::new(max_gain);
+        w.configure(gain).unwrap();
+        prop_assert_eq!(w.amplify(a) + w.amplify(b), w.amplify(a + b));
+        prop_assert_eq!(w.amplify(1), u64::from(gain));
+    }
+
+    /// Resources grow monotonically with mesh size, SC depth and weight
+    /// levels; area tracks JJs.
+    #[test]
+    fn resources_are_monotone(n in 1usize..12, k in 2usize..16) {
+        let base = ChipConfig::mesh(n).with_sc_per_npe(k).build().resources();
+        let bigger_mesh = ChipConfig::mesh(n + 1).with_sc_per_npe(k).build().resources();
+        let deeper = ChipConfig::mesh(n).with_sc_per_npe(k + 1).build().resources();
+        let weighted = ChipConfig::mesh(n)
+            .with_sc_per_npe(k)
+            .with_weights(WeightConfig::Full { levels: 4 })
+            .build()
+            .resources();
+        prop_assert!(bigger_mesh.total_jj() > base.total_jj());
+        prop_assert!(deeper.total_jj() > base.total_jj());
+        prop_assert!(weighted.total_jj() > base.total_jj());
+        prop_assert!(base.area_mm2() > 0.0);
+    }
+
+    /// Scale-out invariants: aggregate throughput is linear in dies,
+    /// sustained throughput is monotone non-increasing in communication
+    /// fraction and never exceeds the aggregate.
+    #[test]
+    fn scaleout_invariants(chips in 1usize..12, f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+        let board = MultiChip::new(chips, 8);
+        let one = MultiChip::new(1, 8);
+        prop_assert!((board.aggregate_gsops() / one.aggregate_gsops() - chips as f64).abs() < 1e-9);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let s_lo = board.sustained_gsops(lo);
+        let s_hi = board.sustained_gsops(hi);
+        prop_assert!(s_hi <= s_lo + 1e-9, "more communication cannot speed things up");
+        prop_assert!(s_lo <= board.aggregate_gsops() + 1e-9);
+        prop_assert!(board.power_mw() > 0.0);
+    }
+
+    /// GSOPS grows with mesh size while per-op latency also grows (wire
+    /// share increases), and efficiency stays positive.
+    #[test]
+    fn perf_model_shape(n in 1usize..16) {
+        let small = PerfModel::new(&ChipConfig::mesh(n).build()).evaluate();
+        let large = PerfModel::new(&ChipConfig::mesh(n + 1).build()).evaluate();
+        prop_assert!(large.gsops > small.gsops);
+        prop_assert!(large.wire_ps > small.wire_ps);
+        prop_assert!(small.gsops_per_w > 0.0);
+        prop_assert!((0.0..1.0).contains(&small.wire_share()));
+    }
+}

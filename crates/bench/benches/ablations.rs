@@ -1,0 +1,64 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! synapse ordering (bucketing), bit-slice width, and the asynchronous
+//! wiring advantage.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+use sushi_arch::chip::ChipConfig;
+use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+use sushi_ssnn::bitslice::SliceSchedule;
+use sushi_ssnn::bucketing::{bucketed_order, worst_case_excursion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    // Ordering construction cost vs bucket count.
+    let signs: Vec<i8> = (0..800).map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 }).collect();
+    for buckets in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("bucketed_order_800", buckets), &buckets, |b, &k| {
+            b.iter(|| bucketed_order(&signs, k))
+        });
+    }
+    g.bench_function("worst_case_excursion_800", |b| {
+        let order = bucketed_order(&signs, 16);
+        b.iter(|| worst_case_excursion(&signs, &order, 40).required_states(40))
+    });
+
+    // Slice-width sweep: schedule length and step cost.
+    let l1: Vec<i8> = (0..784 * 100).map(|i| if (i * 13) % 3 == 0 { -1 } else { 1 }).collect();
+    let net = BinarizedSnn::from_layers(vec![BinaryLayer::from_signs(l1, 784, 100, vec![20; 100])]);
+    let input: Vec<bool> = (0..784).map(|i| i % 5 != 0).collect();
+    for n in [8usize, 16, 32] {
+        let sched = SliceSchedule::for_network(&net, n);
+        g.bench_with_input(BenchmarkId::new("sliced_step_784x100", n), &n, |b, _| {
+            b.iter(|| sched.sliced_step(&net, &input))
+        });
+    }
+    g.bench_function("unsliced_step_784x100", |b| b.iter(|| net.step(&input)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    // The async-vs-synchronous wiring claim: SUSHI's wiring share vs the
+    // paper's "about 80% of the total design" for synchronous RSFQ.
+    println!("## Asynchronous design wiring ablation (Section 3A)");
+    for n in [1usize, 4, 16] {
+        let r = ChipConfig::mesh(n).build().resources();
+        println!(
+            "mesh {n}x{n}: wiring {:.1}% of {} JJs (synchronous designs: ~80%)",
+            r.wiring_fraction() * 100.0,
+            r.total_jj()
+        );
+    }
+    println!();
+    println!("{}", sushi_core::experiments::states_ablation(sushi_core::experiments::Scale::quick()));
+    println!("{}", sushi_core::experiments::reload_ablation(sushi_core::experiments::Scale::quick()));
+    println!("{}", sushi_core::experiments::sync_baseline_ablation());
+    println!("{}", sushi_core::experiments::process_ablation());
+    println!("{}", sushi_core::experiments::scaleout_study());
+    benches();
+    criterion::Criterion::default().final_summary();
+}

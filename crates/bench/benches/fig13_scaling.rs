@@ -1,0 +1,26 @@
+//! Fig 13 bench: regenerates the resource-scaling series and measures the
+//! resource model across mesh sizes.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+use sushi_arch::chip::ChipConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("resources_mesh", n), &n, |b, &n| {
+            let chip = ChipConfig::mesh(n).build();
+            b.iter(|| chip.resources().total_jj())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", sushi_core::experiments::fig13().1);
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,42 @@
+//! Fig 19 bench: regenerates the GSOPS-vs-NPEs series and measures both
+//! the analytical model and the behavioural chip's synaptic throughput.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use sushi_arch::chip::ChipConfig;
+use sushi_arch::PerfModel;
+use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("perf_model", n), &n, |b, &n| {
+            let chip = ChipConfig::mesh(n).build();
+            b.iter(|| PerfModel::new(&chip).evaluate().gsops)
+        });
+    }
+    // The behavioural executor's software synop throughput (how fast the
+    // *simulator* is, as opposed to the modelled chip).
+    let signs: Vec<i8> = (0..256 * 64)
+        .map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 })
+        .collect();
+    let layer = BinaryLayer::from_signs(signs, 256, 64, vec![20; 64]);
+    let net = BinarizedSnn::from_layers(vec![layer]);
+    let exec = SsnnExecutor::new(&net, FireSemantics::FirstCrossing, 1024, 16);
+    let input = vec![true; 256];
+    g.throughput(Throughput::Elements(256 * 64));
+    g.bench_function("behavioral_executor_step_256x64", |b| {
+        b.iter(|| exec.step(&input))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", sushi_core::experiments::fig19_20_21().1);
+    benches();
+    criterion::Criterion::default().final_summary();
+}

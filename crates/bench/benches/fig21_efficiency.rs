@@ -1,0 +1,37 @@
+//! Figs 20/21 bench: regenerates the power and efficiency series and
+//! measures the power model.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+use sushi_arch::chip::ChipConfig;
+use sushi_arch::PerfModel;
+use sushi_cells::{CellLibrary, PowerModel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_21");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("power_and_efficiency", n), &n, |b, &n| {
+            let chip = ChipConfig::mesh(n).build();
+            b.iter(|| {
+                let m = PerfModel::new(&chip);
+                (m.power_mw(), m.gsops_per_w())
+            })
+        });
+    }
+    let lib = CellLibrary::nb03();
+    g.bench_function("cell_power_model", |b| {
+        let m = PowerModel::new(&lib);
+        b.iter(|| m.estimate(99_982, 1.355e12, 50.0).total_mw())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", sushi_core::experiments::delay_ablation());
+    println!("{}", sushi_core::experiments::fig19_20_21().1);
+    benches();
+    criterion::Criterion::default().final_summary();
+}

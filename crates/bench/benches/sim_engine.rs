@@ -1,0 +1,111 @@
+//! Simulator microbenches: event throughput of the RSFQ engine on the
+//! structures SUSHI is built from.
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use std::time::Duration;
+use sushi_arch::npe::NpeNetlist;
+use sushi_arch::state_controller::ScNetlist;
+use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
+use sushi_sim::{Netlist, Simulator};
+
+/// A deep JTL pipeline: the raw event-propagation path.
+fn jtl_pipeline(depth: usize) -> Netlist {
+    let mut n = Netlist::new();
+    let src = n.add_cell(CellKind::DcSfq, "src");
+    n.add_input("in", src, PortName::Din).unwrap();
+    let mut prev = (src, PortName::Dout);
+    for i in 0..depth {
+        let j = n.add_cell(CellKind::Jtl, format!("j{i}"));
+        n.connect(prev.0, prev.1, j, PortName::Din).unwrap();
+        prev = (j, PortName::Dout);
+    }
+    n.probe("out", prev.0, prev.1).unwrap();
+    n
+}
+
+fn bench(c: &mut Criterion) {
+    let lib = CellLibrary::nb03();
+    let mut g = c.benchmark_group("sim_engine");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+
+    let depth = 200usize;
+    let pulses: Vec<Ps> = (0..100).map(|i| i as Ps * 40.0).collect();
+    let pipeline = jtl_pipeline(depth);
+    g.throughput(Throughput::Elements((depth * pulses.len()) as u64));
+    g.bench_function("jtl_pipeline_200x100_pulses", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(&pipeline, &lib);
+                sim.inject("in", &pulses).unwrap();
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion().unwrap();
+                sim.stats().events_delivered
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // One SC, driven hard.
+    let mut sc_net = Netlist::new();
+    let ports = ScNetlist::build(&mut sc_net, "sc").unwrap();
+    sc_net.add_input("in", ports.input.cell, ports.input.port).unwrap();
+    sc_net.add_input("set1", ports.set1.cell, ports.set1.port).unwrap();
+    sc_net.probe("out", ports.out.cell, ports.out.port).unwrap();
+    let sc_pulses: Vec<Ps> = (0..200).map(|i| 100.0 + i as Ps * 120.0).collect();
+    g.throughput(Throughput::Elements(sc_pulses.len() as u64));
+    g.bench_function("state_controller_200_pulses", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(&sc_net, &lib);
+                sim.inject("set1", &[0.0]).unwrap();
+                sim.inject("in", &sc_pulses).unwrap();
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion().unwrap();
+                sim.pulses("out").len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // A 6-SC NPE ripple counter overflowing repeatedly.
+    let mut npe_net = Netlist::new();
+    let npe = NpeNetlist::build(&mut npe_net, "npe", 6).unwrap();
+    npe_net.add_input("in", npe.input.cell, npe.input.port).unwrap();
+    for (i, sc) in npe.scs.iter().enumerate() {
+        npe_net
+            .add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port)
+            .unwrap();
+    }
+    npe_net.probe("out", npe.out.cell, npe.out.port).unwrap();
+    let npe_pulses: Vec<Ps> = (0..256).map(|i| 1000.0 + i as Ps * 500.0).collect();
+    g.throughput(Throughput::Elements(npe_pulses.len() as u64));
+    g.bench_function("npe_counter_256_pulses", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(&npe_net, &lib);
+                for i in 0..6 {
+                    sim.inject(&format!("set1_{i}"), &[0.0]).unwrap();
+                }
+                sim.inject("in", &npe_pulses).unwrap();
+                sim
+            },
+            |mut sim| {
+                sim.run_to_completion().unwrap();
+                sim.pulses("out").len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().final_summary();
+}

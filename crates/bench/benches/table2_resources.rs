@@ -1,0 +1,34 @@
+//! Table 2 bench: regenerates the 4x4-mesh resource table and measures
+//! the resource-model evaluation itself.
+
+use criterion::{criterion_group, BatchSize, Criterion};
+use std::time::Duration;
+use sushi_arch::chip::{ChipConfig, WeightConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("resources_4x4_full_mesh", |b| {
+        b.iter_batched(
+            || ChipConfig::mesh(4).with_weights(WeightConfig::full()).build(),
+            |chip| chip.resources().total_jj(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("netlist_generation_2x2", |b| {
+        b.iter_batched(
+            || ChipConfig::mesh(2).with_sc_per_npe(4).build(),
+            |chip| chip.build_netlist().expect("netlist builds").netlist.cell_count(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", sushi_core::experiments::table2().1);
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,45 @@
+//! Table 3 bench: regenerates the accuracy/consistency comparison (quick
+//! scale) and measures the chip pipeline's per-sample inference cost.
+
+use criterion::{criterion_group, Criterion};
+use std::time::Duration;
+use sushi_core::experiments::{table3, Scale};
+use sushi_core::SushiChip;
+use sushi_snn::data::synth_digits;
+use sushi_snn::train::{TrainConfig, Trainer};
+use sushi_ssnn::compiler::{Compiler, CompilerConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = synth_digits(300, 1);
+    let mut cfg = TrainConfig::tiny_binary();
+    cfg.epochs = 4;
+    let model = Trainer::new(cfg).fit(&data);
+    let program = Compiler::new(CompilerConfig::paper()).compile(&model);
+    let chip = SushiChip::paper();
+    let img = data.images[0].clone();
+
+    let mut g = c.benchmark_group("table3");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.bench_function("chip_inference_one_sample", |b| {
+        b.iter(|| chip.run_sample(&program, &img, 0).prediction)
+    });
+    g.bench_function("float_reference_one_sample", |b| {
+        let enc = model.encoder();
+        b.iter(|| {
+            let frames = enc.encode(&img, model.config.time_steps, 0);
+            model.mlp.predict(&frames)[0]
+        })
+    });
+    g.bench_function("compile_program", |b| {
+        b.iter(|| Compiler::new(CompilerConfig::paper()).compile(&model).schedule.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", table3(Scale::quick()).1);
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,32 @@
+//! Table 4 bench: regenerates the cross-chip comparison and measures the
+//! evaluation layer.
+
+use criterion::{criterion_group, Criterion};
+use std::time::Duration;
+use sushi_core::baselines::Baseline;
+use sushi_core::eval::{efficiency_ratio, sushi_row, table4_rows};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("sushi_row", |b| b.iter(sushi_row));
+    g.bench_function("table4_rows", |b| b.iter(table4_rows));
+    g.bench_function("efficiency_ratios", |b| {
+        b.iter(|| {
+            (
+                efficiency_ratio(&Baseline::truenorth()),
+                efficiency_ratio(&Baseline::tianjic()),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    println!("{}", sushi_core::experiments::table4());
+    println!("{}", sushi_core::experiments::fps_paper_shape());
+    benches();
+    criterion::Criterion::default().final_summary();
+}

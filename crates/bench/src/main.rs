@@ -1,0 +1,75 @@
+//! `experiments` — regenerate every table and figure of the SUSHI paper.
+//!
+//! Usage:
+//!   cargo run --release -p sushi-bench -- [--quick] [EXPERIMENT...]
+//!
+//! With no arguments, runs everything at full scale. `--quick` uses the
+//! reduced training scale. EXPERIMENT names: table1, table2, table3,
+//! table4, fig13, fig14, fig16, fig19, fig20, fig21, delay, reload,
+//! states, quantization, sync, process, conv, scaleout, fps.
+
+use sushi_core::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { exp::Scale::quick() } else { exp::Scale::full() };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if want("table1") {
+        println!("{}\n", exp::table1());
+    }
+    if want("table2") {
+        println!("{}\n", exp::table2().1);
+    }
+    if want("fig13") {
+        println!("{}\n", exp::fig13().1);
+    }
+    if want("table3") {
+        println!("{}\n", exp::table3(scale).1);
+    }
+    if want("fig14") {
+        println!("{}\n", exp::fig14());
+    }
+    if want("fig16") {
+        println!("{}\n", exp::fig16().1);
+    }
+    if want("table4") {
+        println!("{}\n", exp::table4());
+    }
+    if want("fig19") || want("fig20") || want("fig21") {
+        println!("{}\n", exp::fig19_20_21().1);
+    }
+    if want("delay") {
+        println!("{}\n", exp::delay_ablation());
+    }
+    if want("reload") {
+        println!("{}\n", exp::reload_ablation(scale));
+    }
+    if want("states") {
+        println!("{}\n", exp::states_ablation(scale));
+    }
+    if want("quantization") {
+        println!("{}\n", exp::quantization_ablation(scale));
+    }
+    if want("sync") {
+        println!("{}\n", exp::sync_baseline_ablation());
+    }
+    if want("process") {
+        println!("{}\n", exp::process_ablation());
+    }
+    if want("conv") {
+        println!("{}\n", exp::conv_demo());
+    }
+    if want("scaleout") {
+        println!("{}\n", exp::scaleout_study());
+    }
+    if want("fps") {
+        println!("{}\n", exp::fps_paper_shape());
+    }
+}

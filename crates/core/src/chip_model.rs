@@ -1,0 +1,227 @@
+//! The behavioural SUSHI chip executor.
+//!
+//! [`SushiChip`] binds an architectural [`ChipDesign`] (resources, timing,
+//! power) to a compiled [`ChipProgram`] (binarized network, bucketed
+//! orders, bit-slice schedule) and executes inference with the hardware's
+//! first-crossing counter semantics, while accounting time the way the
+//! chip would spend it (synaptic pipeline + weight reloads, discounted by
+//! slice utilization).
+
+use serde::{Deserialize, Serialize};
+use sushi_arch::chip::ChipDesign;
+use sushi_arch::ChipConfig;
+use sushi_arch::PerfModel;
+use sushi_snn::data::Dataset;
+use sushi_snn::metrics::accuracy;
+use sushi_ssnn::reload::{breakdown, ReloadBreakdown};
+use sushi_ssnn::stateless::ExecStats;
+use sushi_ssnn::ChipProgram;
+
+/// Result of one inference on the chip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceOutcome {
+    /// Predicted class.
+    pub prediction: usize,
+    /// Output spike counts per class over the time steps.
+    pub counts: Vec<u32>,
+    /// Hardware-semantics execution statistics.
+    pub stats: ExecStats,
+}
+
+/// Result of evaluating a whole dataset on the chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipEvaluation {
+    /// Classification accuracy.
+    pub accuracy: f64,
+    /// Predicted class per sample.
+    pub predictions: Vec<usize>,
+    /// Cumulative execution statistics.
+    pub stats: ExecStats,
+    /// Compute/reload time breakdown.
+    pub reload: ReloadBreakdown,
+}
+
+/// The behavioural chip: a [`ChipDesign`] executing [`ChipProgram`]s.
+///
+/// # Examples
+///
+/// ```
+/// use sushi_core::SushiChip;
+///
+/// let chip = SushiChip::paper();
+/// assert_eq!(chip.design().npe_count(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SushiChip {
+    design: ChipDesign,
+}
+
+impl SushiChip {
+    /// The paper's peak evaluation configuration: a 16x16 bare-NPE mesh
+    /// (32 NPEs, ~1e5 JJs).
+    pub fn paper() -> Self {
+        Self { design: ChipConfig::mesh(16).build() }
+    }
+
+    /// A chip from an explicit design.
+    pub fn with_design(design: ChipDesign) -> Self {
+        Self { design }
+    }
+
+    /// The underlying architectural design.
+    pub fn design(&self) -> &ChipDesign {
+        &self.design
+    }
+
+    /// Runs one sample through `program` with hardware semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled for a different chip width.
+    pub fn run_sample(&self, program: &ChipProgram, image: &[f32], sample_id: u64) -> InferenceOutcome {
+        self.check_program(program);
+        let frames = program.encode_input(image, sample_id);
+        let exec = program.executor();
+        let (counts, stats) = exec.forward_counts(&frames);
+        let prediction = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("at least one class");
+        InferenceOutcome { prediction, counts, stats }
+    }
+
+    /// Evaluates `program` over `data` (sample ids are dataset indices,
+    /// matching the float reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled for a different chip width.
+    pub fn evaluate(&self, program: &ChipProgram, data: &Dataset) -> ChipEvaluation {
+        self.check_program(program);
+        let mut predictions = Vec::with_capacity(data.len());
+        let mut stats = ExecStats::default();
+        for (i, img) in data.images.iter().enumerate() {
+            let outcome = self.run_sample(program, img, i as u64);
+            predictions.push(outcome.prediction);
+            stats.merge(&outcome.stats);
+        }
+        let reload = breakdown(&stats, self.design.n());
+        ChipEvaluation {
+            accuracy: accuracy(&predictions, &data.labels),
+            predictions,
+            stats,
+            reload,
+        }
+    }
+
+    /// Estimated sustained frames per second for `program` on this chip,
+    /// combining the peak synaptic rate, the reload share and the
+    /// program's actual slice utilization.
+    pub fn estimated_fps(&self, program: &ChipProgram) -> f64 {
+        let perf = PerfModel::new(&self.design);
+        let synops_per_frame: u64 = program
+            .net
+            .layers()
+            .iter()
+            .map(|l| (l.inputs() * l.outputs()) as u64)
+            .sum::<u64>()
+            * program.time_steps as u64;
+        let peak = perf.gsops() * 1e9;
+        let effective = peak
+            * (1.0 - sushi_arch::power::RELOAD_TIME_SHARE)
+            * program.schedule.utilization()
+            * sushi_arch::power::SLICE_TRANSITION_EFFICIENCY;
+        effective / synops_per_frame as f64
+    }
+
+    /// Estimated end-to-end latency of one inference in microseconds
+    /// (the reciprocal of the sustained frame rate).
+    pub fn estimated_latency_us(&self, program: &ChipProgram) -> f64 {
+        1e6 / self.estimated_fps(program)
+    }
+
+    fn check_program(&self, program: &ChipProgram) {
+        assert_eq!(
+            program.config.chip_n,
+            self.design.n(),
+            "program compiled for a {}-wide chip, this chip is {} wide",
+            program.config.chip_n,
+            self.design.n()
+        );
+        assert_eq!(
+            program.config.sc_per_npe,
+            self.design.sc_per_npe(),
+            "program counter depth mismatches the chip"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_snn::data::synth_digits;
+    use sushi_snn::train::{TrainConfig, Trainer};
+    use sushi_ssnn::compiler::{Compiler, CompilerConfig};
+
+    fn tiny_program() -> (ChipProgram, sushi_snn::train::TrainedSnn) {
+        let data = synth_digits(200, 4);
+        let mut cfg = TrainConfig::tiny_binary();
+        cfg.epochs = 4;
+        let model = Trainer::new(cfg).fit(&data);
+        let program = Compiler::new(CompilerConfig::paper()).compile(&model);
+        (program, model)
+    }
+
+    #[test]
+    fn run_sample_returns_valid_outcome() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let img = synth_digits(1, 9).images[0].clone();
+        let out = chip.run_sample(&program, &img, 0);
+        assert!(out.prediction < 10);
+        assert_eq!(out.counts.len(), 10);
+        assert!(out.stats.neuron_steps > 0);
+    }
+
+    #[test]
+    fn evaluate_beats_chance_on_training_distribution() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let data = synth_digits(40, 4);
+        let eval = chip.evaluate(&program, &data);
+        assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
+        assert_eq!(eval.predictions.len(), 40);
+        assert!(eval.reload.reload_share() < 0.6);
+    }
+
+    #[test]
+    fn fps_estimate_is_in_paper_ballpark() {
+        // The Table 3 network on the peak chip: paper reports 2.61e5 FPS.
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let fps = chip.estimated_fps(&program);
+        // The tiny model has a smaller hidden layer, so FPS is higher than
+        // the paper's 784-800-10 figure, but the same order of magnitude.
+        assert!(fps > 1e5 && fps < 1e8, "fps {fps}");
+    }
+
+    #[test]
+    fn latency_is_reciprocal_of_fps() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let fps = chip.estimated_fps(&program);
+        let lat = chip.estimated_latency_us(&program);
+        assert!((lat * fps - 1e6).abs() / 1e6 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "wide")]
+    fn mismatched_chip_width_panics() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::with_design(ChipConfig::mesh(4).build());
+        let img = vec![0.0f32; 784];
+        let _ = chip.run_sample(&program, &img, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! SUSHI — a superconducting single-flux-quantum neuromorphic chip,
+//! reproduced in software.
+//!
+//! This crate is the public façade of the reproduction of *"SUSHI:
+//! Ultra-High-Speed and Ultra-Low-Power Neuromorphic Chip Using
+//! Superconducting Single-Flux-Quantum Circuits"* (MICRO 2023). It ties
+//! together the substrates:
+//!
+//! * [`sushi_cells`] — RSFQ cell library (Table 1 constraints, Nb03-like
+//!   parameters);
+//! * [`sushi_sim`] — event-driven pulse simulator (the VCS stand-in);
+//! * [`sushi_arch`] — state controllers, NPEs, weight structures, on-chip
+//!   networks, resource/power models;
+//! * [`sushi_snn`] — the SpikingJelly stand-in (IF neurons, Poisson
+//!   encoding, surrogate-gradient training, synthetic datasets);
+//! * [`sushi_ssnn`] — the SSNN methodology (binarization, bucketing,
+//!   bit-slicing, pulse encoding);
+//!
+//! and adds the chip-level layers:
+//!
+//! * [`chip_model`] — the behavioural chip executor ([`SushiChip`]);
+//! * [`cell_accurate`] — runs compiled slices on the full cell-level
+//!   netlist and cross-checks them (the paper's chip-vs-simulation
+//!   verification, Fig. 16);
+//! * [`oscilloscope`] — the measurement-bench model (pulse-level
+//!   conversion, label readout);
+//! * [`baselines`] — TrueNorth and Tianjic published-spec models;
+//! * [`eval`] — SOPS/efficiency/FPS evaluation against the baselines;
+//! * [`experiments`] — one runner per table and figure of the paper.
+//!
+//! # Examples
+//!
+//! Evaluate the peak chip configuration against the baselines (Table 4):
+//!
+//! ```
+//! use sushi_core::eval::sushi_row;
+//!
+//! let row = sushi_row();
+//! assert!(row.gsops.unwrap_or_default() > 1000.0);
+//! assert!(row.gsops_per_w > 10_000.0);
+//! ```
+
+pub mod baselines;
+pub mod cell_accurate;
+pub mod chip_model;
+pub mod eval;
+pub mod experiments;
+pub mod oscilloscope;
+pub mod report;
+
+pub use baselines::Baseline;
+pub use cell_accurate::CellAccurateChip;
+pub use chip_model::{ChipEvaluation, InferenceOutcome, SushiChip};
+pub use oscilloscope::Oscilloscope;
+pub use report::TextTable;

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use sushi_core::TextTable;
+///
+/// let t = TextTable::new(&["chip", "GSOPS"])
+///     .row(&["SUSHI", "1355"])
+///     .row(&["TrueNorth", "58"]);
+/// let s = t.to_string();
+/// assert!(s.contains("SUSHI"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(mut self, cells: &[&str]) -> Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(mut self, cells: Vec<String>) -> Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, "| {cell:<w$} ")?;
+            }
+            writeln!(f, "|")
+        };
+        render(f, &self.headers)?;
+        for (i, w) in widths.iter().enumerate() {
+            write!(f, "|{}", "-".repeat(w + 2))?;
+            if i + 1 == widths.len() {
+                writeln!(f, "|")?;
+            }
+        }
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = TextTable::new(&["a", "long header"]).row(&["xxxxxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equally wide.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let t = TextTable::new(&["x"]).row_owned(vec!["42".to_owned()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let _ = TextTable::new(&["a", "b"]).row(&["only one"]);
+    }
+}

@@ -1,0 +1,671 @@
+//! The discrete-event simulation engine.
+
+use crate::event::Event;
+use crate::netlist::{CellId, Netlist, PortRef};
+use crate::state::{CellState, LogicalIssue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::fmt;
+use sushi_cells::{CellKind, CellLibrary, Constraint, PortName, Ps};
+
+/// Default ceiling on delivered events, guarding against runaway feedback.
+pub const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+/// A timing or logical violation observed during simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The offending cell.
+    pub cell: CellId,
+    /// Its instance label.
+    pub label: String,
+    /// Its kind.
+    pub kind: CellKind,
+    /// When the violation occurred (ps).
+    pub time: Ps,
+    /// What went wrong.
+    pub detail: ViolationDetail,
+}
+
+/// The specific rule or issue violated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ViolationDetail {
+    /// A Table 1 minimum-separation rule was broken.
+    Timing {
+        /// The violated rule.
+        rule: Constraint,
+        /// Arrival time of the earlier pulse.
+        prev_time: Ps,
+    },
+    /// A behavioural-model issue (e.g. DFF overwrite).
+    Logical(LogicalIssue),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.detail {
+            ViolationDetail::Timing { rule, prev_time } => write!(
+                f,
+                "t={:.2}ps {} ({}): {} violated (prev pulse at {:.2}ps)",
+                self.time, self.label, self.kind, rule, prev_time
+            ),
+            ViolationDetail::Logical(issue) => {
+                write!(f, "t={:.2}ps {} ({}): {}", self.time, self.label, self.kind, issue)
+            }
+        }
+    }
+}
+
+/// Aggregate simulation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Pulses delivered to cell inputs.
+    pub events_delivered: u64,
+    /// Pulses emitted from cell outputs.
+    pub pulses_emitted: u64,
+    /// Pulses emitted into unconnected, unprobed outputs.
+    pub pulses_dropped: u64,
+    /// Switching events (input-pulse arrivals) per cell kind, the basis of
+    /// the dynamic-energy estimate.
+    pub switch_events: BTreeMap<CellKind, u64>,
+    /// Timestamp of the last delivered event (ps).
+    pub final_time_ps: Ps,
+}
+
+impl SimStats {
+    /// Total dynamic switching energy in pJ under `library`'s per-cell
+    /// switching energies.
+    pub fn switching_energy_pj(&self, library: &CellLibrary) -> f64 {
+        self.switch_events
+            .iter()
+            .map(|(k, n)| library.params(*k).switch_energy_pj(*n))
+            .sum()
+    }
+
+    /// Total switching events across all kinds.
+    pub fn total_switch_events(&self) -> u64 {
+        self.switch_events.values().sum()
+    }
+}
+
+/// Errors from driving the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The named input is not registered on the netlist.
+    UnknownInput(String),
+    /// The named probe is not registered on the netlist.
+    UnknownProbe(String),
+    /// The event budget was exhausted (suggests a zero-delay loop).
+    EventLimitExceeded(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownInput(n) => write!(f, "unknown input {n:?}"),
+            SimError::UnknownProbe(n) => write!(f, "unknown probe {n:?}"),
+            SimError::EventLimitExceeded(n) => {
+                write!(f, "event limit {n} exceeded; possible zero-delay feedback loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A fabrication-defect model injected into a specific cell, used to
+/// exercise the chip-verification flow against broken silicon ("the
+/// current superconducting fabrication technique is more stable for chips
+/// with low JJ density" — defects are a practical concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The cell's output JJ is open: it absorbs pulses but never emits.
+    DropOutput,
+    /// The cell's input is disconnected: arriving pulses do nothing.
+    IgnoreInput,
+}
+
+/// The event-driven simulator over one [`Netlist`].
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    states: Vec<CellState>,
+    /// Most recent pulse-arrival time per (cell, input port).
+    arrivals: Vec<Vec<(PortName, Ps)>>,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    traces: BTreeMap<String, Vec<Ps>>,
+    probe_lookup: HashMap<PortRef, Vec<String>>,
+    violations: Vec<Violation>,
+    stats: SimStats,
+    event_limit: u64,
+    faults: HashMap<CellId, Fault>,
+    /// Gaussian timing jitter on every cell delay (fabrication spread),
+    /// as `(rng, sigma_ps)`. None = nominal timing.
+    jitter: Option<(StdRng, Ps)>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `netlist` with cell delays and constraints
+    /// taken from `library`.
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let states = netlist
+            .cells()
+            .map(|(_, c)| CellState::initial(c.kind))
+            .collect();
+        let mut probe_lookup: HashMap<PortRef, Vec<String>> = HashMap::new();
+        let mut traces = BTreeMap::new();
+        for (name, &port_ref) in netlist.probes() {
+            probe_lookup.entry(port_ref).or_default().push(name.clone());
+            traces.insert(name.clone(), Vec::new());
+        }
+        Self {
+            netlist,
+            library,
+            states,
+            arrivals: vec![Vec::new(); netlist.cell_count()],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            traces,
+            probe_lookup,
+            violations: Vec::new(),
+            stats: SimStats::default(),
+            event_limit: DEFAULT_EVENT_LIMIT,
+            faults: HashMap::new(),
+            jitter: None,
+        }
+    }
+
+    /// Adds deterministic Gaussian timing jitter with standard deviation
+    /// `sigma_ps` to every cell propagation delay (builder style). Models
+    /// fabrication spread in junction critical currents; the constraint
+    /// checker then reports whether the design's margins absorb it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_ps` is negative.
+    pub fn with_jitter(mut self, seed: u64, sigma_ps: Ps) -> Self {
+        assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
+        self.jitter = Some((StdRng::seed_from_u64(seed), sigma_ps));
+        self
+    }
+
+    /// Injects a fabrication defect into `cell` (builder style). Faulty
+    /// runs let tests confirm that the waveform-verification flow actually
+    /// catches broken chips.
+    pub fn with_fault(mut self, cell: CellId, fault: Fault) -> Self {
+        self.faults.insert(cell, fault);
+        self
+    }
+
+    /// Overrides the delivered-event budget (builder style).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Schedules pulses on the named external input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownInput`] if `name` was never registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time is NaN.
+    pub fn inject(&mut self, name: &str, times: &[Ps]) -> Result<(), SimError> {
+        let &target = self
+            .netlist
+            .inputs()
+            .get(name)
+            .ok_or_else(|| SimError::UnknownInput(name.to_owned()))?;
+        for &t in times {
+            self.queue.push(Event::new(t, self.seq, target));
+            self.seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs until the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the budget runs out.
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        self.run_until(Ps::INFINITY)
+    }
+
+    /// Runs while the next event is at or before `deadline` (ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the budget runs out.
+    pub fn run_until(&mut self, deadline: Ps) -> Result<(), SimError> {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            if self.stats.events_delivered >= self.event_limit {
+                return Err(SimError::EventLimitExceeded(self.event_limit));
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.deliver(ev);
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, ev: Event) {
+        let cell_id = ev.target.cell;
+        if self.faults.get(&cell_id) == Some(&Fault::IgnoreInput) {
+            self.stats.events_delivered += 1;
+            return;
+        }
+        let inst = self.netlist.cell(cell_id);
+        let kind = inst.kind;
+        self.stats.events_delivered += 1;
+        self.stats.final_time_ps = self.stats.final_time_ps.max(ev.time);
+        *self.stats.switch_events.entry(kind).or_insert(0) += 1;
+
+        // Timing-constraint check against the most recent arrival per port.
+        let constraints = self.library.constraints(kind);
+        let arr = &mut self.arrivals[cell_id.index()];
+        for rule in constraints.check(ev.target.port, ev.time, arr.iter().copied()) {
+            self.violations.push(Violation {
+                cell: cell_id,
+                label: inst.label.clone(),
+                kind,
+                time: ev.time,
+                detail: ViolationDetail::Timing {
+                    rule: *rule,
+                    prev_time: arr
+                        .iter()
+                        .find(|(p, _)| *p == rule.first)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(Ps::NEG_INFINITY),
+                },
+            });
+        }
+        match arr.iter_mut().find(|(p, _)| *p == ev.target.port) {
+            Some(slot) => slot.1 = ev.time,
+            None => arr.push((ev.target.port, ev.time)),
+        }
+
+        // Behavioural update.
+        let response = self.states[cell_id.index()].on_pulse(kind, ev.target.port);
+        if let Some(issue) = response.issue {
+            self.violations.push(Violation {
+                cell: cell_id,
+                label: inst.label.clone(),
+                kind,
+                time: ev.time,
+                detail: ViolationDetail::Logical(issue),
+            });
+        }
+        if self.faults.get(&cell_id) == Some(&Fault::DropOutput) {
+            return;
+        }
+        let mut delay = self.library.params(kind).delay_ps;
+        if let Some((rng, sigma)) = &mut self.jitter {
+            // Box-Muller; delays cannot go below a quarter of nominal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            delay = (delay + *sigma * gauss).max(delay / 4.0);
+        }
+        for out_port in response.emitted() {
+            self.stats.pulses_emitted += 1;
+            let out_ref = PortRef::new(cell_id, out_port);
+            let emit_time = ev.time + delay;
+            let mut consumed = false;
+            if let Some(names) = self.probe_lookup.get(&out_ref) {
+                for name in names {
+                    self.traces
+                        .get_mut(name)
+                        .expect("probe trace pre-registered")
+                        .push(emit_time);
+                }
+                consumed = true;
+            }
+            if let Some(wire) = self.netlist.wire_from(out_ref) {
+                self.queue
+                    .push(Event::new(emit_time + wire.delay_ps, self.seq, wire.to));
+                self.seq += 1;
+                consumed = true;
+            }
+            if !consumed {
+                self.stats.pulses_dropped += 1;
+            }
+        }
+    }
+
+    /// Pulse times recorded by the named probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a registered probe; use
+    /// [`Simulator::try_pulses`] for a fallible lookup.
+    pub fn pulses(&self, name: &str) -> &[Ps] {
+        self.try_pulses(name)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Pulse times recorded by the named probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownProbe`] if `name` was never registered.
+    pub fn try_pulses(&self, name: &str) -> Result<&[Ps], SimError> {
+        self.traces
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| SimError::UnknownProbe(name.to_owned()))
+    }
+
+    /// All probe traces, keyed by probe name.
+    pub fn traces(&self) -> &BTreeMap<String, Vec<Ps>> {
+        &self.traces
+    }
+
+    /// Violations recorded so far (timing and logical).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The internal state of a cell (for assertions in tests and for the
+    /// "read" paths of the architecture models).
+    pub fn cell_state(&self, id: CellId) -> &CellState {
+        &self.states[id.index()]
+    }
+
+    /// True if no events remain queued.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Clears all dynamic state (cell states, traces, violations, queue),
+    /// keeping the netlist and library, so the same design can be re-run.
+    pub fn reset(&mut self) {
+        self.states = self
+            .netlist
+            .cells()
+            .map(|(_, c)| CellState::initial(c.kind))
+            .collect();
+        for v in self.arrivals.iter_mut() {
+            v.clear();
+        }
+        self.queue.clear();
+        for t in self.traces.values_mut() {
+            t.clear();
+        }
+        self.violations.clear();
+        self.stats = SimStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sushi_cells::CellKind;
+    use PortName::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nb03()
+    }
+
+    /// in -> dcsfq -> jtl -> probe
+    fn simple_chain() -> Netlist {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        let j = n.add_cell(CellKind::Jtl, "j");
+        n.connect(src, Dout, j, Din).unwrap();
+        n.add_input("in", src, Din).unwrap();
+        n.probe("out", j, Dout).unwrap();
+        n
+    }
+
+    #[test]
+    fn pulses_propagate_with_delays() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let expected = 100.0 + l.params(CellKind::DcSfq).delay_ps + l.params(CellKind::Jtl).delay_ps;
+        assert_eq!(sim.pulses("out"), &[expected]);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn wire_delay_adds_up() {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        let j = n.add_cell(CellKind::Jtl, "j");
+        n.connect_with_delay(src, Dout, j, Din, 50.0).unwrap();
+        n.add_input("in", src, Din).unwrap();
+        n.probe("out", j, Dout).unwrap();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[0.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let expected = l.params(CellKind::DcSfq).delay_ps + 50.0 + l.params(CellKind::Jtl).delay_ps;
+        assert_eq!(sim.pulses("out"), &[expected]);
+    }
+
+    #[test]
+    fn timing_violation_detected_on_fast_pulses() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        // 5 ps apart violates the 19.9 ps din-din interval of both cells.
+        sim.inject("in", &[100.0, 105.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(!sim.violations().is_empty());
+        assert!(matches!(
+            sim.violations()[0].detail,
+            ViolationDetail::Timing { .. }
+        ));
+    }
+
+    #[test]
+    fn safe_interval_produces_no_violations() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        let times: Vec<Ps> = (0..50).map(|i| 100.0 + 40.0 * i as Ps).collect();
+        sim.inject("in", &times).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(sim.violations().is_empty());
+        assert_eq!(sim.pulses("out").len(), 50);
+    }
+
+    #[test]
+    fn ndro_roundtrip_through_engine() {
+        let mut n = Netlist::new();
+        let nd = n.add_cell(CellKind::Ndro, "nd");
+        n.add_input("din", nd, Din).unwrap();
+        n.add_input("rst", nd, Rst).unwrap();
+        n.add_input("clk", nd, Clk).unwrap();
+        n.probe("q", nd, Dout).unwrap();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("din", &[100.0]).unwrap();
+        sim.inject("clk", &[200.0, 300.0]).unwrap();
+        sim.inject("rst", &[400.0]).unwrap();
+        // A read after reset: nothing.
+        sim.inject("clk", &[500.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.pulses("q").len(), 2);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn unknown_input_is_error() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        assert_eq!(
+            sim.inject("nope", &[1.0]),
+            Err(SimError::UnknownInput("nope".into()))
+        );
+        assert!(matches!(
+            sim.try_pulses("nope"),
+            Err(SimError::UnknownProbe(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_pulses_counted() {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        n.add_input("in", src, Din).unwrap();
+        // No wire, no probe on src.dout.
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[0.0, 100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.stats().pulses_dropped, 2);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l).with_event_limit(1);
+        sim.inject("in", &[0.0, 100.0]).unwrap();
+        assert_eq!(
+            sim.run_to_completion(),
+            Err(SimError::EventLimitExceeded(1))
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0, 500.0]).unwrap();
+        sim.run_until(200.0).unwrap();
+        assert_eq!(sim.pulses("out").len(), 1);
+        assert!(!sim.is_idle());
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.pulses("out").len(), 2);
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0, 105.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(!sim.pulses("out").is_empty());
+        assert!(!sim.violations().is_empty());
+        sim.reset();
+        assert!(sim.pulses("out").is_empty());
+        assert!(sim.violations().is_empty());
+        assert_eq!(sim.stats().events_delivered, 0);
+        // And it runs again cleanly.
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.pulses("out").len(), 1);
+    }
+
+    #[test]
+    fn stats_track_events_and_energy() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.stats().events_delivered, 2); // dcsfq + jtl
+        assert_eq!(sim.stats().pulses_emitted, 2);
+        assert_eq!(sim.stats().total_switch_events(), 2);
+        assert!(sim.stats().switching_energy_pj(&l) > 0.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let n = simple_chain();
+        let l = lib();
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(&n, &l).with_jitter(seed, 1.0);
+            sim.inject("in", &[100.0, 500.0, 900.0]).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.pulses("out").to_vec()
+        };
+        assert_eq!(run(7), run(7), "same seed, same waveform");
+        assert_ne!(run(7), run(8), "different seed, different arrival times");
+        // Small jitter cannot break generous pulse spacing.
+        let mut sim = Simulator::new(&n, &l).with_jitter(7, 1.0);
+        sim.inject("in", &[100.0, 500.0, 900.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(sim.violations().is_empty());
+        assert_eq!(sim.pulses("out").len(), 3);
+    }
+
+    #[test]
+    fn excessive_jitter_trips_the_constraint_checker() {
+        let n = simple_chain();
+        let l = lib();
+        // Pulses at the exact safe interval with brutal 15 ps jitter:
+        // across many pulses some pair must violate the 19.9 ps rule.
+        let mut sim = Simulator::new(&n, &l).with_jitter(3, 15.0);
+        let times: Vec<Ps> = (0..200).map(|i| 100.0 + 40.0 * i as Ps).collect();
+        sim.inject("in", &times).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(
+            !sim.violations().is_empty(),
+            "15 ps sigma on 40 ps spacing must eventually violate"
+        );
+    }
+
+    #[test]
+    fn fault_drop_output_silences_cell() {
+        let n = simple_chain();
+        let l = lib();
+        // Fault the JTL (cell index 1): pulses reach it but never leave.
+        let mut sim = Simulator::new(&n, &l).with_fault(CellId(1), Fault::DropOutput);
+        sim.inject("in", &[100.0, 200.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(sim.pulses("out").is_empty());
+        // The faulty cell still received the pulses.
+        assert_eq!(sim.stats().events_delivered, 4);
+    }
+
+    #[test]
+    fn fault_ignore_input_blocks_state_updates() {
+        let mut n = Netlist::new();
+        let t = n.add_cell(CellKind::Tffl, "t");
+        n.add_input("in", t, Din).unwrap();
+        n.probe("out", t, Dout).unwrap();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l).with_fault(t, Fault::IgnoreInput);
+        sim.inject("in", &[100.0, 200.0, 300.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert!(sim.pulses("out").is_empty());
+        // State never advanced.
+        assert_eq!(*sim.cell_state(t), crate::state::CellState::Tff { state: false });
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0, 101.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let msg = sim.violations()[0].to_string();
+        assert!(msg.contains("src") || msg.contains("j"), "{msg}");
+        assert!(msg.contains("violated"), "{msg}");
+    }
+}

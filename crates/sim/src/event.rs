@@ -1,0 +1,88 @@
+//! Pulse events and the discrete-event queue ordering.
+
+use crate::netlist::PortRef;
+use std::cmp::Ordering;
+use sushi_cells::Ps;
+
+/// A pulse scheduled to arrive at an input port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Arrival time in ps.
+    pub time: Ps,
+    /// Tie-break sequence number: equal-time events are delivered in
+    /// scheduling order, making simulations deterministic.
+    pub seq: u64,
+    /// The destination input port.
+    pub target: PortRef,
+}
+
+impl Event {
+    /// Creates an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN (event ordering must be total).
+    pub fn new(time: Ps, seq: u64, target: PortRef) -> Self {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        Self { time, seq, target }
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::CellId;
+    use std::collections::BinaryHeap;
+    use sushi_cells::PortName;
+
+    fn ev(t: Ps, seq: u64) -> Event {
+        Event::new(t, seq, PortRef::new(CellId(0), PortName::Din))
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(30.0, 0));
+        h.push(ev(10.0, 1));
+        h.push(ev(20.0, 2));
+        assert_eq!(h.pop().unwrap().time, 10.0);
+        assert_eq!(h.pop().unwrap().time, 20.0);
+        assert_eq!(h.pop().unwrap().time, 30.0);
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10.0, 5));
+        h.push(ev(10.0, 1));
+        h.push(ev(10.0, 3));
+        assert_eq!(h.pop().unwrap().seq, 1);
+        assert_eq!(h.pop().unwrap().seq, 3);
+        assert_eq!(h.pop().unwrap().seq, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let _ = ev(f64::NAN, 0);
+    }
+}

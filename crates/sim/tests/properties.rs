@@ -1,0 +1,108 @@
+//! Property-based tests on the simulator's core invariants.
+
+use proptest::prelude::*;
+use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
+use sushi_sim::{levels_from_pulses, Netlist, PulseTrain, Simulator};
+
+/// Strategy: a monotonically increasing pulse train with safe spacing.
+fn safe_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
+    prop::collection::vec(40.0..200.0f64, 0..max_len).prop_map(|gaps| {
+        let mut t = 0.0;
+        gaps.iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A TFF chain of depth d divides the pulse count by 2^d.
+    #[test]
+    fn tff_chain_divides_by_powers_of_two(pulses in safe_train(64), depth in 1usize..4) {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        n.add_input("in", src, PortName::Din).unwrap();
+        let mut prev = (src, PortName::Dout);
+        for i in 0..depth {
+            let t = n.add_cell(CellKind::Tffl, format!("t{i}"));
+            n.connect(prev.0, prev.1, t, PortName::Din).unwrap();
+            prev = (t, PortName::Dout);
+        }
+        n.probe("out", prev.0, prev.1).unwrap();
+        let lib = CellLibrary::nb03();
+        let mut sim = Simulator::new(&n, &lib);
+        sim.inject("in", &pulses).unwrap();
+        sim.run_to_completion().unwrap();
+        // TFFL emits on every odd input pulse (1st, 3rd, ...): ceil(n/2) per stage.
+        let mut expect = pulses.len();
+        for _ in 0..depth {
+            expect = expect.div_ceil(2);
+        }
+        prop_assert_eq!(sim.pulses("out").len(), expect);
+    }
+
+    /// A splitter tree followed by a confluence tree multiplies pulse count
+    /// by the fan-out (every pulse is preserved through SPL+CB).
+    #[test]
+    fn spl_cb_preserve_every_pulse(pulses in safe_train(32)) {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        let spl = n.add_cell(CellKind::Spl2, "spl");
+        let cb = n.add_cell(CellKind::Cb2, "cb");
+        n.add_input("in", src, PortName::Din).unwrap();
+        n.connect(src, PortName::Dout, spl, PortName::Din).unwrap();
+        // Unequal path delays so the two copies never collide inside the CB.
+        n.connect_with_delay(spl, PortName::DoutA, cb, PortName::DinA, 0.0).unwrap();
+        n.connect_with_delay(spl, PortName::DoutB, cb, PortName::DinB, 10.0).unwrap();
+        n.probe("out", cb, PortName::Dout).unwrap();
+        let lib = CellLibrary::nb03();
+        let mut sim = Simulator::new(&n, &lib);
+        sim.inject("in", &pulses).unwrap();
+        sim.run_to_completion().unwrap();
+        prop_assert_eq!(sim.pulses("out").len(), 2 * pulses.len());
+    }
+
+    /// Level conversion is an involution on counts: toggles == pulses, and
+    /// the final level equals initial XOR parity.
+    #[test]
+    fn level_conversion_parity(pulses in safe_train(64), initial: bool) {
+        let lt = levels_from_pulses(&pulses, initial);
+        prop_assert_eq!(lt.toggle_count(), pulses.len());
+        let end = lt.level_at(1e12);
+        prop_assert_eq!(end, initial ^ (pulses.len() % 2 == 1));
+    }
+
+    /// Safe-interval stimulus never produces timing violations in a JTL
+    /// pipeline of any depth.
+    #[test]
+    fn safe_stimulus_is_violation_free(pulses in safe_train(32), depth in 1usize..6) {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        n.add_input("in", src, PortName::Din).unwrap();
+        let mut prev = (src, PortName::Dout);
+        for i in 0..depth {
+            let j = n.add_cell(CellKind::Jtl, format!("j{i}"));
+            n.connect(prev.0, prev.1, j, PortName::Din).unwrap();
+            prev = (j, PortName::Dout);
+        }
+        n.probe("out", prev.0, prev.1).unwrap();
+        let lib = CellLibrary::nb03();
+        let mut sim = Simulator::new(&n, &lib);
+        sim.inject("in", &pulses).unwrap();
+        sim.run_to_completion().unwrap();
+        prop_assert!(sim.violations().is_empty());
+        prop_assert_eq!(sim.pulses("out").len(), pulses.len());
+    }
+
+    /// Pulse trains match themselves and matching is symmetric.
+    #[test]
+    fn train_matching_is_reflexive_and_symmetric(a in safe_train(32), jitter in 0.0..0.5f64) {
+        let ta = PulseTrain::from_times(a.clone());
+        let tb = PulseTrain::from_times(a.iter().map(|t| t + jitter).collect());
+        prop_assert!(ta.matches(&ta, 0.0));
+        prop_assert_eq!(ta.matches(&tb, 1.0), tb.matches(&ta, 1.0));
+        prop_assert!(ta.matches(&tb, 1.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! The weight-reload cost model (Section 4.2.2).
+//!
+//! Weight reloading is done through NDRO switches, in parallel per synapse,
+//! off the critical path — so its cost is "solely determined by the time it
+//! takes to reach the NDRO". What *does* intrude on the inference timeline
+//! is the per-neuron polarity reconfiguration between buckets (the set0/
+//! set1 pulses must precede the inputs they apply to, Section 5.2).
+//!
+//! With reordering+bucketing the paper measures "the optimized weight
+//! reloading accounts for 20% of the total inference time on average"; the
+//! naive per-synapse schedule is far worse. This module turns the executor
+//! statistics into that time breakdown.
+
+use crate::stateless::ExecStats;
+use serde::{Deserialize, Serialize};
+use sushi_cells::Ps;
+
+/// Time for one reload operation to reach its NDRO and settle: the control
+/// pulse's route plus the NDRO din/rst separation constraints
+/// (~6 safe intervals at 40 ps).
+pub const RELOAD_OP_PS: Ps = 240.0;
+
+/// Time of one synaptic operation on the peak (16x16) configuration; kept
+/// in sync with `sushi_arch::PerfModel` (logic ~87 ps + wire ~102 ps).
+pub const SYNOP_PS: Ps = 189.0;
+
+/// A reload/compute time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReloadBreakdown {
+    /// Time spent on synaptic computation, ps.
+    pub compute_ps: Ps,
+    /// Time spent reloading (polarity/strength reconfiguration), ps.
+    pub reload_ps: Ps,
+}
+
+impl ReloadBreakdown {
+    /// Reload share of the total inference time.
+    pub fn reload_share(&self) -> f64 {
+        let total = self.compute_ps + self.reload_ps;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.reload_ps / total
+        }
+    }
+
+    /// Total time in ps.
+    pub fn total_ps(&self) -> Ps {
+        self.compute_ps + self.reload_ps
+    }
+}
+
+/// Converts executor statistics into a time breakdown.
+///
+/// `parallel_neurons` is the number of neurons the chip evaluates
+/// concurrently (the mesh width): compute time amortises across them,
+/// while polarity switches are per-neuron channels that also run in
+/// parallel — so both terms divide by the same width and the *share* is
+/// width-independent.
+///
+/// # Examples
+///
+/// ```
+/// use sushi_ssnn::reload::breakdown;
+/// use sushi_ssnn::stateless::ExecStats;
+///
+/// let stats = ExecStats { synops: 1000, polarity_switches: 50, ..Default::default() };
+/// let b = breakdown(&stats, 16);
+/// assert!(b.reload_share() > 0.0 && b.reload_share() < 0.2);
+/// ```
+pub fn breakdown(stats: &ExecStats, parallel_neurons: usize) -> ReloadBreakdown {
+    let width = parallel_neurons.max(1) as f64;
+    ReloadBreakdown {
+        compute_ps: stats.synops as f64 * SYNOP_PS / width,
+        reload_ps: stats.polarity_switches as f64 * RELOAD_OP_PS / width,
+    }
+}
+
+/// The naive (no reordering) reload cost: every active synapse whose sign
+/// differs from its predecessor in *input order* forces a reconfiguration;
+/// on random sign patterns that is roughly half the synops.
+pub fn naive_switches(synops: u64) -> u64 {
+    synops / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_is_width_independent() {
+        let stats = ExecStats { synops: 10_000, polarity_switches: 600, ..Default::default() };
+        let a = breakdown(&stats, 1).reload_share();
+        let b = breakdown(&stats, 16).reload_share();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    /// Paper-scale shape check: ~160 active synapses per neuron-step with
+    /// 16-way bucketing (~31 switches) lands near the paper's 20% reload
+    /// share.
+    #[test]
+    fn bucketed_share_is_about_twenty_percent() {
+        let stats = ExecStats { synops: 160, polarity_switches: 31, ..Default::default() };
+        let share = breakdown(&stats, 1).reload_share();
+        assert!((share - 0.20).abs() < 0.05, "share {share}");
+    }
+
+    /// Without reordering, reload dominates.
+    #[test]
+    fn naive_share_dominates() {
+        let synops = 160u64;
+        let stats = ExecStats { synops, polarity_switches: naive_switches(synops), ..Default::default() };
+        let share = breakdown(&stats, 1).reload_share();
+        assert!(share > 0.35, "naive share {share}");
+    }
+
+    #[test]
+    fn zero_work_zero_share() {
+        let b = breakdown(&ExecStats::default(), 4);
+        assert_eq!(b.reload_share(), 0.0);
+        assert_eq!(b.total_ps(), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests on the SSNN methodology's invariants.
+
+use proptest::prelude::*;
+use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+use sushi_ssnn::quantize::QuantizedLayer;
+use sushi_ssnn::bitslice::SliceSchedule;
+use sushi_ssnn::bucketing::{analyze_excursion, bucketed_order, inhibitory_first};
+use sushi_ssnn::encode::encode_slice_step;
+use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
+
+/// Strategy: a sign vector of the given maximum length.
+fn signs(max_len: usize) -> impl Strategy<Value = Vec<i8>> {
+    prop::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 1..max_len)
+}
+
+proptest! {
+    /// Any bucketing factor yields a permutation, and the end-of-step
+    /// potential is order-independent (the sum is preserved).
+    #[test]
+    fn bucketed_order_preserves_sum(s in signs(120), buckets in 1usize..20, mask in any::<u64>()) {
+        let order = bucketed_order(&s, buckets);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..s.len()).collect::<Vec<_>>());
+        let active: Vec<bool> = (0..s.len()).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let e_bucketed = analyze_excursion(&s, &order, &active, 5);
+        let e_inh = analyze_excursion(&s, &inhibitory_first(&s), &active, 5);
+        prop_assert_eq!(e_bucketed.end, e_inh.end);
+    }
+
+    /// Inhibitory-first never yields a premature crossing: the potential
+    /// is monotonically non-decreasing after its minimum.
+    #[test]
+    fn inhibitory_first_never_premature(s in signs(120), mask in any::<u64>(), threshold in 1i64..20) {
+        let active: Vec<bool> = (0..s.len()).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let e = analyze_excursion(&s, &inhibitory_first(&s), &active, threshold);
+        prop_assert!(!e.premature);
+    }
+
+    /// Bucketing never deepens the excursion below inhibitory-first's
+    /// (which visits every inhibitory synapse before any excitatory one).
+    #[test]
+    fn bucketing_bounds_the_dip(s in signs(200), buckets in 2usize..20) {
+        let deep = analyze_excursion(&s, &inhibitory_first(&s), &vec![true; s.len()], 10);
+        let shallow = analyze_excursion(&s, &bucketed_order(&s, buckets), &vec![true; s.len()], 10);
+        prop_assert!(shallow.min >= deep.min, "bucketed {} < inh-first {}", shallow.min, deep.min);
+    }
+
+    /// Threshold folding is exact: the integer rule fires iff the scaled
+    /// float pre-activation reaches the float threshold.
+    #[test]
+    fn threshold_folding_is_exact(
+        s in signs(60),
+        alpha in 0.01f32..2.0,
+        theta in 0.1f32..3.0,
+        mask in any::<u64>(),
+    ) {
+        use sushi_snn::Matrix;
+        // A column with uniform magnitude alpha: binarization is lossless.
+        let w = Matrix::from_vec(s.len(), 1, s.iter().map(|&x| alpha * f32::from(x)).collect());
+        let layer = BinaryLayer::from_float(&w, theta);
+        let active: Vec<bool> = (0..s.len()).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let int_sum: i64 = s.iter().zip(&active).filter(|(_, a)| **a).map(|(x, _)| i64::from(*x)).sum();
+        let float_sum: f64 = f64::from(alpha) * int_sum as f64;
+        let int_fires = int_sum >= layer.threshold(0);
+        let float_fires = float_sum >= f64::from(theta) - 1e-6;
+        prop_assert_eq!(int_fires, float_fires,
+            "int_sum {} threshold {} float_sum {} theta {}", int_sum, layer.threshold(0), float_sum, theta);
+    }
+
+    /// Sliced execution equals the unsliced step for any chip width.
+    #[test]
+    fn slicing_is_equivalent(
+        ins in 1usize..12,
+        outs in 1usize..8,
+        n in 1usize..20,
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let sgn: Vec<i8> = (0..ins * outs)
+            .map(|i| if (seed >> (i % 64)) & 1 == 1 { -1 } else { 1 })
+            .collect();
+        let thresholds: Vec<i64> = (0..outs).map(|j| 1 + (seed.wrapping_mul(j as u64 + 3) % 4) as i64).collect();
+        let layer = BinaryLayer::from_signs(sgn, ins, outs, thresholds);
+        let net = BinarizedSnn::from_layers(vec![layer]);
+        let sched = SliceSchedule::for_network(&net, n);
+        let input: Vec<bool> = (0..ins).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        prop_assert_eq!(sched.sliced_step(&net, &input), net.step(&input));
+    }
+
+    /// With ample counter states and one bucket (inhibitory-first), the
+    /// hardware executor matches the software reference exactly.
+    #[test]
+    fn semantics_coincide_with_inhibitory_first(
+        ins in 1usize..16,
+        outs in 1usize..6,
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let sgn: Vec<i8> = (0..ins * outs)
+            .map(|i| if (seed >> (i % 64)) & 1 == 1 { -1 } else { 1 })
+            .collect();
+        let thresholds = vec![2i64; outs];
+        let layer = BinaryLayer::from_signs(sgn, ins, outs, thresholds);
+        let net = BinarizedSnn::from_layers(vec![layer]);
+        let hw = SsnnExecutor::new(&net, FireSemantics::FirstCrossing, 1 << 20, 1);
+        let sw = SsnnExecutor::new(&net, FireSemantics::EndOfStep, 1 << 20, 1);
+        let input: Vec<bool> = (0..ins).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        prop_assert_eq!(hw.step(&input).0, sw.step(&input).0);
+    }
+
+    /// Quantization respects its contract for arbitrary float columns:
+    /// strengths in 1..=max_gain with the weight's sign, and the
+    /// strength-sorted order is a permutation grouping polarities.
+    #[test]
+    fn quantization_contract(
+        weights in prop::collection::vec(-2.0f32..2.0, 2..40),
+        max_gain in 1u16..24,
+        theta in 0.1f32..2.0,
+    ) {
+        use sushi_snn::Matrix;
+        let n = weights.len();
+        let w = Matrix::from_vec(n, 1, weights.clone());
+        let q = QuantizedLayer::from_float(&w, theta, max_gain);
+        for (i, &orig) in weights.iter().enumerate() {
+            let level = q.level(i, 0);
+            prop_assert!(level != 0, "weight structures always pass >= 1 pulse");
+            prop_assert!(level.unsigned_abs() <= max_gain, "level {level} > {max_gain}");
+            if orig < 0.0 {
+                prop_assert!(level < 0);
+            } else {
+                prop_assert!(level > 0);
+            }
+        }
+        prop_assert!(q.threshold(0) >= 1);
+        let mut order = q.strength_sorted_order(0);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Higher quantization precision never increases the deviation from
+    /// the float firing rule on uniform-magnitude columns (where binary is
+    /// already exact, more levels must stay exact).
+    #[test]
+    fn quantization_is_exact_on_uniform_columns(
+        s in prop::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 2..32),
+        alpha in 0.05f32..1.5,
+        mask in any::<u64>(),
+        max_gain in 1u16..16,
+    ) {
+        use sushi_snn::Matrix;
+        let n = s.len();
+        let w = Matrix::from_vec(n, 1, s.iter().map(|&x| alpha * f32::from(x)).collect());
+        let q = QuantizedLayer::from_float(&w, 1.0, max_gain);
+        let active: Vec<bool> = (0..n).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let float_sum: f64 = s
+            .iter()
+            .zip(&active)
+            .filter(|(_, a)| **a)
+            .map(|(x, _)| f64::from(alpha) * f64::from(*x))
+            .sum();
+        let float_fires = float_sum >= 1.0 - 1e-6;
+        prop_assert_eq!(q.step(&active), vec![float_fires]);
+    }
+
+    /// Every encoded slice schedule passes the Section 5.2 protocol
+    /// validation, for arbitrary layers and activity patterns.
+    #[test]
+    fn encoded_schedules_always_validate(
+        ins in 1usize..7,
+        outs in 1usize..4,
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let sgn: Vec<i8> = (0..ins * outs)
+            .map(|i| if (seed >> (i % 64)) & 1 == 1 { -1 } else { 1 })
+            .collect();
+        let layer = BinaryLayer::from_signs(sgn, ins, outs, vec![2; outs]);
+        let slice = sushi_ssnn::bitslice::Slice { layer: 0, rows: 0..ins, cols: 0..outs, fires: true };
+        let active: Vec<bool> = (0..ins).map(|i| mask >> (i % 64) & 1 == 1).collect();
+        let sched = encode_slice_step(&layer, &slice, &active, 256, 0.0);
+        prop_assert!(sched.validate().is_empty(), "{:?}", sched.validate());
+    }
+}

@@ -1,0 +1,33 @@
+//! The Table 3 workload: train the paper's 784-800-10 SSNN on the
+//! synthetic digit and fashion datasets, then compare the float reference
+//! against the SUSHI chip pipeline (accuracy + consistency).
+//!
+//! Run with: `cargo run --release --example mnist_inference [--full]`
+//!
+//! `--full` uses the paper-comparable scale (~1 min); the default is a
+//! quick run.
+
+use sushi_core::experiments::{table3, Scale};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    println!(
+        "running Table 3 at {} scale ({} samples, {} epochs, hidden {})...\n",
+        if full { "full" } else { "quick" },
+        scale.samples,
+        scale.epochs,
+        scale.hidden
+    );
+    let (rows, text) = table3(scale);
+    println!("{text}");
+    for r in &rows {
+        let drop = (r.reference_accuracy - r.sushi_accuracy) * 100.0;
+        println!(
+            "{}: accuracy drop {:.2} pp, disagreement {:.2}%",
+            r.dataset,
+            drop,
+            (1.0 - r.consistency) * 100.0
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the SUSHI stack in five minutes.
+//!
+//! 1. Pulse a cell-level state controller and watch it gate flips.
+//! 2. Use the behavioural NPE chain as a programmable-threshold neuron.
+//! 3. Train a small spiking network, compile it, and run it on the chip.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sushi_arch::state_controller::ScNetlist;
+use sushi_arch::NpeChain;
+use sushi_cells::CellLibrary;
+use sushi_core::SushiChip;
+use sushi_sim::{Netlist, Simulator};
+use sushi_snn::data::synth_digits;
+use sushi_snn::train::{TrainConfig, Trainer};
+use sushi_ssnn::compiler::{Compiler, CompilerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A state controller at cell level -------------------------
+    let mut netlist = Netlist::new();
+    let sc = ScNetlist::build(&mut netlist, "sc")?;
+    netlist.add_input("in", sc.input.cell, sc.input.port)?;
+    netlist.add_input("set1", sc.set1.cell, sc.set1.port)?;
+    netlist.probe("out", sc.out.cell, sc.out.port)?;
+    let library = CellLibrary::nb03();
+    let mut sim = Simulator::new(&netlist, &library);
+    sim.inject("set1", &[0.0])?; // gate the 1 -> 0 flip
+    sim.inject("in", &[200.0, 400.0, 600.0, 800.0])?;
+    sim.run_to_completion()?;
+    println!(
+        "state controller: 4 input pulses -> {} gated output pulses (emit-on-fall)",
+        sim.pulses("out").len()
+    );
+    println!("timing violations: {}", sim.violations().len());
+
+    // --- 2. An NPE chain as a threshold-5 neuron ----------------------
+    let mut npe = NpeChain::new(10); // 1024 states, like the paper's NPE
+    npe.preload_threshold(5);
+    let fired: Vec<u64> = (1..=12u64).filter(|_| npe.pulse_in()).collect();
+    println!("NPE chain (threshold 5): fired after {fired:?} pulses");
+
+    // --- 3. Train, compile, infer on the chip ------------------------
+    let data = synth_digits(400, 7);
+    let (train, test) = data.split(0.8);
+    let mut cfg = TrainConfig::tiny_binary();
+    cfg.epochs = 8;
+    println!("training a {:?} SSNN...", cfg.layer_sizes());
+    let model = Trainer::new(cfg).fit(&train);
+    let program = Compiler::new(CompilerConfig::paper()).compile(&model);
+    let chip = SushiChip::paper();
+    println!(
+        "chip: {} NPEs, {} JJs, {} slices for this network",
+        chip.design().npe_count(),
+        chip.design().resources().total_jj(),
+        program.schedule.len()
+    );
+    let eval = chip.evaluate(&program, &test);
+    println!(
+        "chip accuracy on {} test samples: {:.1}% (reload share {:.1}%)",
+        test.len(),
+        eval.accuracy * 100.0,
+        eval.reload.reload_share() * 100.0
+    );
+    let outcome = chip.run_sample(&program, &test.images[0], 0);
+    println!(
+        "sample 0: predicted {} (true {}), spike counts {:?}",
+        outcome.prediction, test.labels[0], outcome.counts
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! The scaling study of the paper's evaluation: resource growth (Fig. 13),
+//! performance / power / efficiency sweeps (Figs. 19-21), the Table 2 and
+//! Table 4 anchors, and the transmission-delay breakdown (Section 6.3A).
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use sushi_core::experiments::{
+    delay_ablation, fig13, fig19_20_21, process_ablation, scaleout_study, sync_baseline_ablation,
+    table2, table4,
+};
+
+fn main() {
+    println!("{}", table2().1);
+    println!("{}", fig13().1);
+    println!("{}", fig19_20_21().1);
+    println!("{}", delay_ablation());
+    println!("{}", table4());
+    println!("{}", sync_baseline_ablation());
+    println!("{}", process_ablation());
+    println!("{}", scaleout_study());
+
+    // A little extra: where does the tree network pay off?
+    use sushi_arch::chip::ChipConfig;
+    use sushi_arch::PerfModel;
+    println!("## Bonus: tree vs mesh network at 8x8");
+    for (name, chip) in [
+        ("mesh", ChipConfig::mesh(8).build()),
+        ("tree", ChipConfig::tree(8).build()),
+    ] {
+        let r = chip.resources();
+        let p = PerfModel::new(&chip).evaluate();
+        println!(
+            "{name}: {} JJs, {:.2} mm^2, {:.0} GSOPS, arbitrary topology: {}",
+            r.total_jj(),
+            r.area_mm2(),
+            p.gsops,
+            chip.network().supports_arbitrary_topology()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration checks of the resource/performance models against every
+//! numeric anchor the paper reports.
+
+use sushi_arch::chip::{ChipConfig, WeightConfig};
+use sushi_arch::PerfModel;
+use sushi_core::baselines::Baseline;
+use sushi_core::eval::{efficiency_ratio, speedup_vs_truenorth, sushi_row};
+
+fn within(measured: f64, paper: f64, tol: f64) -> bool {
+    (measured - paper).abs() / paper <= tol
+}
+
+/// Table 2: 45,542 JJs, 44.73 mm², 68.13% wiring for the 4x4 full mesh.
+#[test]
+fn table2_anchors() {
+    let r = ChipConfig::mesh(4)
+        .with_weights(WeightConfig::full())
+        .build()
+        .resources();
+    assert!(within(r.total_jj() as f64, 45_542.0, 0.10), "total {}", r.total_jj());
+    assert!(within(r.area_mm2(), 44.73, 0.10), "area {}", r.area_mm2());
+    assert!((r.wiring_fraction() - 0.6813).abs() < 0.05, "wiring {}", r.wiring_fraction());
+}
+
+/// Fig 13 / Table 4: the 32-NPE design is ~99,982 JJs and ~103.75 mm².
+#[test]
+fn peak_design_anchors() {
+    let r = ChipConfig::mesh(16).build().resources();
+    assert!(within(r.total_jj() as f64, 99_982.0, 0.10), "total {}", r.total_jj());
+    assert!(within(r.area_mm2(), 103.75, 0.10), "area {}", r.area_mm2());
+}
+
+/// Table 4: 1,355 GSOPS / 41.87 mW / 32,366 GSOPS/W at peak.
+#[test]
+fn table4_anchors() {
+    let chip = ChipConfig::mesh(16).build();
+    let p = PerfModel::new(&chip).evaluate();
+    assert!(within(p.gsops, 1355.0, 0.08), "gsops {}", p.gsops);
+    assert!(within(p.power_mw, 41.87, 0.10), "power {}", p.power_mw);
+    assert!(within(p.gsops_per_w, 32_366.0, 0.12), "eff {}", p.gsops_per_w);
+}
+
+/// Headline ratios: 23x TrueNorth throughput; 81x / 50x efficiency.
+#[test]
+fn headline_ratio_anchors() {
+    assert!(within(speedup_vs_truenorth(), 23.0, 0.10));
+    assert!(within(efficiency_ratio(&Baseline::truenorth()), 81.0, 0.12));
+    assert!(within(efficiency_ratio(&Baseline::tianjic()), 50.0, 0.12));
+}
+
+/// Section 6.3A: transmission-delay share ~6% at 1x1, ~53% at 16x16.
+#[test]
+fn transmission_share_anchors() {
+    let p1 = PerfModel::new(&ChipConfig::mesh(1).build()).evaluate();
+    let p16 = PerfModel::new(&ChipConfig::mesh(16).build()).evaluate();
+    assert!((p1.wire_share() - 0.06).abs() < 0.02, "1x1 {}", p1.wire_share());
+    assert!((p16.wire_share() - 0.53).abs() < 0.03, "16x16 {}", p16.wire_share());
+}
+
+/// Section 6.3: up to 2.61e5 FPS for the 784-800-10 network.
+#[test]
+fn fps_anchor() {
+    let chip = ChipConfig::mesh(16).build();
+    let fps = PerfModel::new(&chip).fps((784 * 800 + 800 * 10) * 5);
+    assert!(within(fps, 2.61e5, 0.10), "fps {fps}");
+}
+
+/// Abstract (~1e5 JJ claim) and asynchronous-design claim: wiring stays
+/// below the 80% typical of synchronous RSFQ designs at every scale.
+#[test]
+fn wiring_overhead_claims() {
+    for n in [1usize, 2, 4, 8, 16] {
+        let r = ChipConfig::mesh(n).build().resources();
+        assert!(
+            r.wiring_fraction() < 0.80,
+            "n={n}: wiring {:.2} not below synchronous 80%",
+            r.wiring_fraction()
+        );
+    }
+    let peak = ChipConfig::mesh(16).build().resources().total_jj();
+    assert!((90_000..=115_000).contains(&peak), "peak JJs {peak}");
+}
+
+/// The Table 4 row assembled by the eval layer is self-consistent with
+/// the underlying models.
+#[test]
+fn eval_row_consistency() {
+    let row = sushi_row();
+    let chip = ChipConfig::mesh(16).build();
+    let p = PerfModel::new(&chip).evaluate();
+    assert_eq!(row.gsops.unwrap(), p.gsops);
+    assert_eq!(row.gsops_per_w, p.gsops_per_w);
+    assert!((row.area_mm2 - chip.resources().area_mm2()).abs() < 1e-9);
+}

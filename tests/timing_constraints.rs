@@ -1,0 +1,98 @@
+//! Timing-constraint integration: encoded pulse streams must run through
+//! the cell-level netlists without violating Table 1, and the runtime
+//! checker must catch streams that do.
+
+use sushi_cells::timing::SAFE_INTERVAL_PS;
+use sushi_cells::{CellKind, CellLibrary, PortName};
+use sushi_core::CellAccurateChip;
+use sushi_sim::{Netlist, Simulator, StimulusBuilder};
+use sushi_ssnn::binarize::BinaryLayer;
+use sushi_ssnn::bitslice::Slice;
+use sushi_ssnn::encode::encode_slice_step;
+use sushi_ssnn::timing::TimingSchedule;
+
+/// The encoder's output, injected verbatim into the cell-level chip,
+/// produces zero timing violations.
+#[test]
+fn encoded_streams_are_violation_free_on_silicon() {
+    let chip = CellAccurateChip::build(2, 4).unwrap();
+    let layer = BinaryLayer::from_signs(vec![1, -1, -1, 1, 1, 1, -1, 1], 4, 2, vec![2, 2]);
+    for mask in 0..16u32 {
+        let active: Vec<bool> = (0..4).map(|b| mask >> b & 1 == 1).collect();
+        let run = chip.run_column_block(&layer, 0..2, &active).unwrap();
+        assert_eq!(run.violations, 0, "mask {mask:04b}");
+    }
+}
+
+/// The encoder's schedules satisfy the Section 5.2 protocol checker.
+#[test]
+fn encoded_schedules_pass_protocol_validation() {
+    let layer = BinaryLayer::from_signs(vec![1, -1, 1, 1, -1, 1], 3, 2, vec![2, 1]);
+    let slice = Slice { layer: 0, rows: 0..3, cols: 0..2, fires: true };
+    let sched = encode_slice_step(&layer, &slice, &[true, true, true], 16, 0.0);
+    assert!(sched.validate().is_empty(), "{:?}", sched.validate());
+}
+
+/// Pulses faster than Table 1 through an NDRO are caught by the runtime
+/// checker with the exact violated rule.
+#[test]
+fn runtime_checker_reports_ndro_rule() {
+    let lib = CellLibrary::nb03();
+    let mut n = Netlist::new();
+    let nd = n.add_cell(CellKind::Ndro, "nd");
+    n.add_input("din", nd, PortName::Din).unwrap();
+    n.add_input("clk", nd, PortName::Clk).unwrap();
+    n.probe("q", nd, PortName::Dout).unwrap();
+    let mut sim = Simulator::new(&n, &lib);
+    // din -> clk needs 14.81 ps; give it 5.
+    sim.inject("din", &[100.0]).unwrap();
+    sim.inject("clk", &[105.0]).unwrap();
+    sim.run_to_completion().unwrap();
+    assert_eq!(sim.violations().len(), 1);
+    let msg = sim.violations()[0].to_string();
+    assert!(msg.contains("din-clk"), "{msg}");
+}
+
+/// The safe chip-wide interval (40 ps) clears every cell's constraints in
+/// a mixed pipeline.
+#[test]
+fn safe_interval_is_safe_through_mixed_cells() {
+    let lib = CellLibrary::nb03();
+    let mut n = Netlist::new();
+    let src = n.add_cell(CellKind::DcSfq, "src");
+    let spl = n.add_cell(CellKind::Spl2, "spl");
+    let tff = n.add_cell(CellKind::Tffl, "tff");
+    let cb = n.add_cell(CellKind::Cb2, "cb");
+    n.connect(src, PortName::Dout, spl, PortName::Din).unwrap();
+    n.connect(spl, PortName::DoutA, tff, PortName::Din).unwrap();
+    // Skew the direct branch so both CB inputs clear the 5.7 ps
+    // cross-channel constraint even when the TFF fires (11 ps path).
+    n.connect_with_delay(spl, PortName::DoutB, cb, PortName::DinA, 30.0).unwrap();
+    n.connect(tff, PortName::Dout, cb, PortName::DinB).unwrap();
+    n.add_input("in", src, PortName::Din).unwrap();
+    n.probe("out", cb, PortName::Dout).unwrap();
+    let mut sim = Simulator::new(&n, &lib);
+    let stim = StimulusBuilder::with_min_interval(SAFE_INTERVAL_PS)
+        .burst("in", 0.0, 20)
+        .unwrap()
+        .build();
+    stim.inject_into(&mut sim).unwrap();
+    sim.run_to_completion().unwrap();
+    assert!(sim.violations().is_empty(), "{:?}", sim.violations());
+    // Every input pulse reaches the CB via the direct branch, plus TFF
+    // halves on the other branch: 20 + 10.
+    assert_eq!(sim.pulses("out").len(), 30);
+}
+
+/// The protocol validator rejects out-of-order control sequences that the
+/// encoder would never emit.
+#[test]
+fn protocol_validator_rejects_bad_orderings() {
+    use sushi_ssnn::timing::ChannelKind;
+    let mut s = TimingSchedule::new();
+    s.push(ChannelKind::Set, "set", 500.0);
+    s.push(ChannelKind::Input, "in", 100.0); // before its set
+    s.push(ChannelKind::Write, "write", 50.0); // no rst at all
+    let errs = s.validate();
+    assert_eq!(errs.len(), 2, "{errs:?}");
+}
