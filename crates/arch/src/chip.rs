@@ -52,7 +52,9 @@ pub enum WeightConfig {
 impl WeightConfig {
     /// The paper's full mesh configuration (Table 2): 17 levels.
     pub fn full() -> Self {
-        WeightConfig::Full { levels: DEFAULT_WEIGHT_LEVELS }
+        WeightConfig::Full {
+            levels: DEFAULT_WEIGHT_LEVELS,
+        }
     }
 
     /// Strength levels, or 0 when absent.
@@ -136,7 +138,10 @@ impl ChipConfig {
 
     /// Finalises the design against a custom library.
     pub fn build_with_library(self, library: CellLibrary) -> ChipDesign {
-        ChipDesign { config: self, library }
+        ChipDesign {
+            config: self,
+            library,
+        }
     }
 }
 
@@ -221,7 +226,10 @@ impl ChipDesign {
         let mut r = ResourceReport::new();
 
         // --- Logic ---
-        r.add_logic(Category::Npe, self.npe_count() as u64 * NpeNetlist::logic_jj(lib, self.config.sc_per_npe));
+        r.add_logic(
+            Category::Npe,
+            self.npe_count() as u64 * NpeNetlist::logic_jj(lib, self.config.sc_per_npe),
+        );
         r.add_logic(Category::NetworkFabric, net.logic_jj(lib));
         if let WeightConfig::Full { levels } = self.config.weights {
             r.add_logic(
@@ -239,7 +247,10 @@ impl ChipDesign {
         // --- Wiring ---
         r.add_wiring(
             Category::IntraSc,
-            self.npe_count() as u64 * k * INTRA_SC_JTLS * u64::from(lib.params(CellKind::Jtl).jj_count),
+            self.npe_count() as u64
+                * k
+                * INTRA_SC_JTLS
+                * u64::from(lib.params(CellKind::Jtl).jj_count),
         );
         let data_mm = fp.data_route_mm() * net.route_scale();
         r.add_wiring(
@@ -364,7 +375,12 @@ impl ChipDesign {
             nl.probe(format!("out{j}"), pad, Dout)?;
         }
 
-        Ok(ChipNetlist { netlist: nl, n, sc_per_npe: k, weights: self.config.weights })
+        Ok(ChipNetlist {
+            netlist: nl,
+            n,
+            sc_per_npe: k,
+            weights: self.config.weights,
+        })
     }
 
     /// The tree-network netlist: every input broadcasts to every output
@@ -421,7 +437,12 @@ impl ChipDesign {
             nl.connect(npe.out.cell, npe.out.port, pad, Din)?;
             nl.probe(format!("out{j}"), pad, Dout)?;
         }
-        Ok(ChipNetlist { netlist: nl, n, sc_per_npe: k, weights: WeightConfig::None })
+        Ok(ChipNetlist {
+            netlist: nl,
+            n,
+            sc_per_npe: k,
+            weights: WeightConfig::None,
+        })
     }
 }
 
@@ -450,7 +471,9 @@ mod tests {
     /// Table 2 anchor: 4x4 mesh with weight structures.
     #[test]
     fn table2_resources_within_tolerance() {
-        let chip = ChipConfig::mesh(4).with_weights(WeightConfig::full()).build();
+        let chip = ChipConfig::mesh(4)
+            .with_weights(WeightConfig::full())
+            .build();
         let r = chip.resources();
         let total = r.total_jj() as f64;
         let area = r.area_mm2();
@@ -550,7 +573,9 @@ mod tests {
         let chip = ChipConfig::mesh(4).build();
         // 8 NPEs * (2*10 + 3) = 184.
         assert_eq!(chip.control_line_count(), 184);
-        let full = ChipConfig::mesh(4).with_weights(WeightConfig::full()).build();
+        let full = ChipConfig::mesh(4)
+            .with_weights(WeightConfig::full())
+            .build();
         assert_eq!(full.control_line_count(), 184 + 16);
     }
 }

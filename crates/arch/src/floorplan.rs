@@ -34,7 +34,10 @@ impl Floorplan {
     /// Panics if `n == 0`.
     pub fn new(n: usize, routing: &RoutingParams) -> Self {
         assert!(n > 0, "mesh size must be positive");
-        Self { n, pitch_mm: routing.npe_pitch_mm }
+        Self {
+            n,
+            pitch_mm: routing.npe_pitch_mm,
+        }
     }
 
     /// Mesh dimension `n` (the chip has `2n` NPEs and `n^2` synapses).
@@ -58,8 +61,15 @@ impl Floorplan {
     ///
     /// Panics if `row` or `col` is out of range.
     pub fn synapse_position_mm(&self, row: usize, col: usize) -> (f64, f64) {
-        assert!(row < self.n && col < self.n, "synapse ({row},{col}) outside {0}x{0}", self.n);
-        ((col as f64 + 0.5) * self.pitch_mm, (row as f64 + 0.5) * self.pitch_mm)
+        assert!(
+            row < self.n && col < self.n,
+            "synapse ({row},{col}) outside {0}x{0}",
+            self.n
+        );
+        (
+            (col as f64 + 0.5) * self.pitch_mm,
+            (row as f64 + 0.5) * self.pitch_mm,
+        )
     }
 
     /// Total length of the shared data buses in mm: `n` horizontal input

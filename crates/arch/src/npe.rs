@@ -50,7 +50,9 @@ impl NpeChain {
     /// Panics if `k == 0` or `k > 31`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0 && k < 32, "chain length must be in 1..=31, got {k}");
-        Self { scs: vec![ScBehavior::new(); k] }
+        Self {
+            scs: vec![ScBehavior::new(); k],
+        }
     }
 
     /// Number of SCs in the chain.
@@ -121,7 +123,11 @@ impl NpeChain {
     ///
     /// Panics if `value >= 2^k`.
     pub fn preload(&mut self, value: u64) {
-        assert!(value < self.num_states(), "preload {value} exceeds {} states", self.num_states());
+        assert!(
+            value < self.num_states(),
+            "preload {value} exceeds {} states",
+            self.num_states()
+        );
         for sc in &mut self.scs {
             sc.disable();
             sc.zero();
@@ -265,7 +271,12 @@ impl BioNeuron {
     pub fn new(threshold: u32, rising: u32, falling: u32) -> Self {
         assert!(threshold > 0, "threshold must be positive");
         assert!(rising > 0, "rising phase needs at least one state");
-        Self { threshold, rising, falling, phase: BioPhase::Below(0) }
+        Self {
+            threshold,
+            rising,
+            falling,
+            phase: BioPhase::Below(0),
+        }
     }
 
     /// The current phase.
@@ -497,16 +508,20 @@ mod tests {
         }
         let mut n = Netlist::new();
         let ports = NpeNetlist::build(&mut n, "npe", k).unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         for (i, sc) in ports.scs.iter().enumerate() {
-            n.add_input(format!("set0_{i}"), sc.set0.cell, sc.set0.port).unwrap();
-            n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port).unwrap();
+            n.add_input(format!("set0_{i}"), sc.set0.cell, sc.set0.port)
+                .unwrap();
+            n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
+                .unwrap();
         }
         let mut sim = Simulator::new(&n, &lib);
         for i in 0..k {
             if (preload >> i) & 1 == 1 {
-                sim.inject(&format!("write_{i}"), &[100.0 + 50.0 * i as Ps]).unwrap();
+                sim.inject(&format!("write_{i}"), &[100.0 + 50.0 * i as Ps])
+                    .unwrap();
             }
         }
         for i in 0..k {
@@ -551,18 +566,22 @@ mod tests {
             // Cell-level: preload by pulsing set1 on all SCs and writing bits.
             let mut n = Netlist::new();
             let ports = NpeNetlist::build(&mut n, "npe", k).unwrap();
-            n.add_input("in", ports.input.cell, ports.input.port).unwrap();
+            n.add_input("in", ports.input.cell, ports.input.port)
+                .unwrap();
             n.probe("out", ports.out.cell, ports.out.port).unwrap();
             for (i, sc) in ports.scs.iter().enumerate() {
-                n.add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port).unwrap();
-                n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port).unwrap();
+                n.add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port)
+                    .unwrap();
+                n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
+                    .unwrap();
             }
             let mut sim = Simulator::new(&n, &lib);
             // Write preload bits while outputs are disabled (t < 1000).
             let preload = (1u64 << k) - threshold;
             for i in 0..k {
                 if (preload >> i) & 1 == 1 {
-                    sim.inject(&format!("write_{i}"), &[100.0 + 50.0 * i as Ps]).unwrap();
+                    sim.inject(&format!("write_{i}"), &[100.0 + 50.0 * i as Ps])
+                        .unwrap();
                 }
             }
             // Enable carry mode, then pulse.

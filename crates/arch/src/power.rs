@@ -161,9 +161,11 @@ impl<'a> PerfModel<'a> {
     ///
     /// Panics if `synops_per_frame == 0`.
     pub fn fps(&self, synops_per_frame: u64) -> f64 {
-        assert!(synops_per_frame > 0, "a frame needs at least one synaptic op");
-        self.gsops() * 1e9 * (1.0 - RELOAD_TIME_SHARE) * SLICE_UTILIZATION
-            / synops_per_frame as f64
+        assert!(
+            synops_per_frame > 0,
+            "a frame needs at least one synaptic op"
+        );
+        self.gsops() * 1e9 * (1.0 - RELOAD_TIME_SHARE) * SLICE_UTILIZATION / synops_per_frame as f64
     }
 }
 
@@ -181,16 +183,32 @@ mod tests {
     fn transmission_delay_shares_match_paper() {
         let p1 = point(1);
         let p16 = point(16);
-        assert!((p1.wire_share() - 0.06).abs() < 0.02, "1x1 share {}", p1.wire_share());
-        assert!((p16.wire_share() - 0.53).abs() < 0.03, "16x16 share {}", p16.wire_share());
+        assert!(
+            (p1.wire_share() - 0.06).abs() < 0.02,
+            "1x1 share {}",
+            p1.wire_share()
+        );
+        assert!(
+            (p16.wire_share() - 0.53).abs() < 0.03,
+            "16x16 share {}",
+            p16.wire_share()
+        );
     }
 
     /// Table 4: 1,355 GSOPS and 41.87 mW at 32 NPEs.
     #[test]
     fn peak_performance_and_power_match_table4() {
         let p = point(16);
-        assert!((p.gsops - 1355.0).abs() / 1355.0 < 0.08, "gsops {}", p.gsops);
-        assert!((p.power_mw - 41.87).abs() / 41.87 < 0.10, "power {}", p.power_mw);
+        assert!(
+            (p.gsops - 1355.0).abs() / 1355.0 < 0.08,
+            "gsops {}",
+            p.gsops
+        );
+        assert!(
+            (p.power_mw - 41.87).abs() / 41.87 < 0.10,
+            "power {}",
+            p.power_mw
+        );
         assert!(
             (p.gsops_per_w - 32_366.0).abs() / 32_366.0 < 0.12,
             "eff {}",
@@ -202,7 +220,10 @@ mod tests {
     /// GSOPS) falls between the 2x2 and 4x4 configurations.
     #[test]
     fn performance_sweep_shape() {
-        let gs: Vec<f64> = [1usize, 2, 4, 8, 16].iter().map(|&n| point(n).gsops).collect();
+        let gs: Vec<f64> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&n| point(n).gsops)
+            .collect();
         for w in gs.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -213,7 +234,10 @@ mod tests {
     /// Fig. 20: power grows with NPEs and stays in the tens of mW.
     #[test]
     fn power_sweep_shape() {
-        let ps: Vec<f64> = [1usize, 2, 4, 8, 16].iter().map(|&n| point(n).power_mw).collect();
+        let ps: Vec<f64> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&n| point(n).power_mw)
+            .collect();
         for w in ps.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -258,8 +282,6 @@ mod tests {
     fn tree_network_is_faster_per_op() {
         let mesh = ChipConfig::mesh(8).build();
         let tree = ChipConfig::tree(8).build();
-        assert!(
-            PerfModel::new(&tree).wire_delay_ps() < PerfModel::new(&mesh).wire_delay_ps()
-        );
+        assert!(PerfModel::new(&tree).wire_delay_ps() < PerfModel::new(&mesh).wire_delay_ps());
     }
 }

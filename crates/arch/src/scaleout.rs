@@ -54,7 +54,10 @@ impl MultiChip {
     /// Panics if `chips == 0` or `n == 0`.
     pub fn new(chips: usize, n: usize) -> Self {
         assert!(chips > 0, "a board needs at least one chip");
-        Self { chips, design: ChipConfig::mesh(n).build() }
+        Self {
+            chips,
+            design: ChipConfig::mesh(n).build(),
+        }
     }
 
     /// Number of dies.

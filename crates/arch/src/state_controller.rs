@@ -128,7 +128,11 @@ impl ScBehavior {
     ///
     /// Panics (debug) if called while outputs are enabled.
     pub fn zero(&mut self) {
-        debug_assert_eq!(self.mode, ScMode::Disabled, "zero() requires disabled outputs");
+        debug_assert_eq!(
+            self.mode,
+            ScMode::Disabled,
+            "zero() requires disabled outputs"
+        );
         let was_set = self.rst_read() || self.state;
         if was_set {
             self.write();
@@ -325,9 +329,12 @@ mod tests {
     fn netlist_sc_follows_state_diagram() {
         let mut n = Netlist::new();
         let ports = ScNetlist::build(&mut n, "sc").unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
-        n.add_input("set0", ports.set0.cell, ports.set0.port).unwrap();
-        n.add_input("set1", ports.set1.cell, ports.set1.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
+        n.add_input("set0", ports.set0.cell, ports.set0.port)
+            .unwrap();
+        n.add_input("set1", ports.set1.cell, ports.set1.port)
+            .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         let lib = CellLibrary::nb03();
         let mut sim = Simulator::new(&n, &lib);
@@ -345,8 +352,10 @@ mod tests {
     fn netlist_sc_set1_gates_falls() {
         let mut n = Netlist::new();
         let ports = ScNetlist::build(&mut n, "sc").unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
-        n.add_input("set1", ports.set1.cell, ports.set1.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
+        n.add_input("set1", ports.set1.cell, ports.set1.port)
+            .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         let lib = CellLibrary::nb03();
         let mut sim = Simulator::new(&n, &lib);
@@ -362,7 +371,8 @@ mod tests {
     fn netlist_rst_read_protocol() {
         let mut n = Netlist::new();
         let ports = ScNetlist::build(&mut n, "sc").unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
         n.add_input("rst", ports.rst.cell, ports.rst.port).unwrap();
         n.probe("read", ports.read.cell, ports.read.port).unwrap();
         let lib = CellLibrary::nb03();
@@ -390,8 +400,10 @@ mod tests {
             // Cell-level.
             let mut n = Netlist::new();
             let ports = ScNetlist::build(&mut n, "sc").unwrap();
-            n.add_input("in", ports.input.cell, ports.input.port).unwrap();
-            n.add_input("set0", ports.set0.cell, ports.set0.port).unwrap();
+            n.add_input("in", ports.input.cell, ports.input.port)
+                .unwrap();
+            n.add_input("set0", ports.set0.cell, ports.set0.port)
+                .unwrap();
             n.probe("out", ports.out.cell, ports.out.port).unwrap();
             let lib = CellLibrary::nb03();
             let mut sim = Simulator::new(&n, &lib);

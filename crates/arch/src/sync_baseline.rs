@@ -61,7 +61,11 @@ impl ShiftRegister {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn build(netlist: &mut Netlist, prefix: &str, n: usize) -> Result<ShiftRegisterPorts, NetlistError> {
+    pub fn build(
+        netlist: &mut Netlist,
+        prefix: &str,
+        n: usize,
+    ) -> Result<ShiftRegisterPorts, NetlistError> {
         use PortName::*;
         assert!(n > 0, "a shift register needs at least one stage");
         let dffs: Vec<_> = (0..n)
@@ -74,9 +78,8 @@ impl ShiftRegister {
         // (counter-flow): the clock reaches dff[n-1] with the least delay
         // and dff[0] with the most, so a stage is emptied before its
         // upstream neighbour's datum arrives.
-        let clk_root;
-        if n == 1 {
-            clk_root = PortRef::new(dffs[0], Clk);
+        let clk_root = if n == 1 {
+            PortRef::new(dffs[0], Clk)
         } else {
             let spls: Vec<_> = (0..n - 1)
                 .map(|i| netlist.add_cell(CellKind::Spl2, format!("{prefix}.clkspl{i}")))
@@ -91,8 +94,8 @@ impl ShiftRegister {
                     netlist.connect_with_delay(*spl, PortName::DoutA, dffs[0], Clk, stagger)?;
                 }
             }
-            clk_root = PortRef::new(spls[0], Din);
-        }
+            PortRef::new(spls[0], Din)
+        };
         Ok(ShiftRegisterPorts {
             din: PortRef::new(dffs[0], Din),
             clk: clk_root,
@@ -136,7 +139,9 @@ impl ShiftRegisterModel {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a shift register needs at least one stage");
-        Self { stages: VecDeque::from(vec![false; n]) }
+        Self {
+            stages: VecDeque::from(vec![false; n]),
+        }
     }
 
     /// Stage count.
@@ -223,7 +228,12 @@ impl SyncAccelerator {
     /// (~1e5 JJs): 32 bit-serial PEs, 8-bit weights, 2K words of
     /// shift-register memory at 20 GHz.
     pub fn supernpu_like() -> Self {
-        Self { pe_count: 32, word_bits: 8, memory_words: 256, clock_ghz: 20.0 }
+        Self {
+            pe_count: 32,
+            word_bits: 8,
+            memory_words: 256,
+            clock_ghz: 20.0,
+        }
     }
 
     /// Resource report under `library`'s constants.
@@ -379,7 +389,11 @@ mod tests {
             r.wiring_fraction()
         );
         // And it burns a JJ budget comparable to SUSHI's peak design.
-        assert!(r.total_jj() > 50_000 && r.total_jj() < 150_000, "{}", r.total_jj());
+        assert!(
+            r.total_jj() > 50_000 && r.total_jj() < 150_000,
+            "{}",
+            r.total_jj()
+        );
     }
 
     /// The Section 3B claim: shift-register memory holds the design to

@@ -55,7 +55,10 @@ impl WeightStructure {
     ///
     /// Panics if `max_gain == 0`.
     pub fn new(max_gain: u32) -> Self {
-        assert!(max_gain >= 1, "a weight structure passes at least one pulse");
+        assert!(
+            max_gain >= 1,
+            "a weight structure passes at least one pulse"
+        );
         Self { max_gain, gain: 1 }
     }
 
@@ -84,7 +87,10 @@ impl WeightStructure {
     /// Returns [`GainOutOfRange`] if `gain` is 0 or exceeds the maximum.
     pub fn configure(&mut self, gain: u32) -> Result<u32, GainOutOfRange> {
         if gain < 1 || gain > self.max_gain {
-            return Err(GainOutOfRange { requested: gain, max: self.max_gain });
+            return Err(GainOutOfRange {
+                requested: gain,
+                max: self.max_gain,
+            });
         }
         let ops = self.gain.abs_diff(gain);
         self.gain = gain;
@@ -243,7 +249,8 @@ mod tests {
             let mut n = Netlist::new();
             let src = n.add_cell(CellKind::DcSfq, "src");
             let ports = WeightNetlist::build(&mut n, "w", 4).unwrap();
-            n.connect(src, PortName::Dout, ports.input.cell, ports.input.port).unwrap();
+            n.connect(src, PortName::Dout, ports.input.cell, ports.input.port)
+                .unwrap();
             n.add_input("in", src, PortName::Din).unwrap();
             n.probe("out", ports.out.cell, ports.out.port).unwrap();
             for (k, (set, _rst)) in ports.loops.iter().enumerate() {
@@ -261,7 +268,11 @@ mod tests {
                 2 * target_gain,
                 "gain {target_gain}"
             );
-            assert!(sim.violations().is_empty(), "gain {target_gain}: {:?}", sim.violations());
+            assert!(
+                sim.violations().is_empty(),
+                "gain {target_gain}: {:?}",
+                sim.violations()
+            );
         }
     }
 
@@ -271,7 +282,8 @@ mod tests {
         let mut n = Netlist::new();
         let src = n.add_cell(CellKind::DcSfq, "src");
         let ports = WeightNetlist::build(&mut n, "w", 1).unwrap();
-        n.connect(src, PortName::Dout, ports.input.cell, ports.input.port).unwrap();
+        n.connect(src, PortName::Dout, ports.input.cell, ports.input.port)
+            .unwrap();
         n.add_input("in", src, PortName::Din).unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         assert!(ports.loops.is_empty());
@@ -300,11 +312,14 @@ mod tests {
         let mut n = Netlist::new();
         let src = n.add_cell(CellKind::DcSfq, "src");
         let ports = WeightNetlist::build(&mut n, "w", 3).unwrap();
-        n.connect(src, PortName::Dout, ports.input.cell, ports.input.port).unwrap();
+        n.connect(src, PortName::Dout, ports.input.cell, ports.input.port)
+            .unwrap();
         n.add_input("in", src, PortName::Din).unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
-        n.add_input("set0", ports.loops[0].0.cell, ports.loops[0].0.port).unwrap();
-        n.add_input("rst0", ports.loops[0].1.cell, ports.loops[0].1.port).unwrap();
+        n.add_input("set0", ports.loops[0].0.cell, ports.loops[0].0.port)
+            .unwrap();
+        n.add_input("rst0", ports.loops[0].1.cell, ports.loops[0].1.port)
+            .unwrap();
         let mut sim = Simulator::new(&n, &lib);
         // Gain 2 for the first pulse, reconfigure to gain 1 for the second.
         sim.inject("set0", &[0.0]).unwrap();

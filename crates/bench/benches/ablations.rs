@@ -5,7 +5,7 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::time::Duration;
 use sushi_arch::chip::ChipConfig;
-use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::bitslice::SliceSchedule;
 use sushi_ssnn::bucketing::{bucketed_order, worst_case_excursion};
 
@@ -14,11 +14,15 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2)).sample_size(20);
 
     // Ordering construction cost vs bucket count.
-    let signs: Vec<i8> = (0..800).map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 }).collect();
+    let signs: Vec<i8> = (0..800)
+        .map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 })
+        .collect();
     for buckets in [1usize, 4, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("bucketed_order_800", buckets), &buckets, |b, &k| {
-            b.iter(|| bucketed_order(&signs, k))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("bucketed_order_800", buckets),
+            &buckets,
+            |b, &k| b.iter(|| bucketed_order(&signs, k)),
+        );
     }
     g.bench_function("worst_case_excursion_800", |b| {
         let order = bucketed_order(&signs, 16);
@@ -26,7 +30,9 @@ fn bench(c: &mut Criterion) {
     });
 
     // Slice-width sweep: schedule length and step cost.
-    let l1: Vec<i8> = (0..784 * 100).map(|i| if (i * 13) % 3 == 0 { -1 } else { 1 }).collect();
+    let l1: Vec<i8> = (0..784 * 100)
+        .map(|i| if (i * 13) % 3 == 0 { -1 } else { 1 })
+        .collect();
     let net = BinarizedSnn::from_layers(vec![BinaryLayer::from_signs(l1, 784, 100, vec![20; 100])]);
     let input: Vec<bool> = (0..784).map(|i| i % 5 != 0).collect();
     for n in [8usize, 16, 32] {
@@ -54,8 +60,14 @@ fn main() {
         );
     }
     println!();
-    println!("{}", sushi_core::experiments::states_ablation(sushi_core::experiments::Scale::quick()));
-    println!("{}", sushi_core::experiments::reload_ablation(sushi_core::experiments::Scale::quick()));
+    println!(
+        "{}",
+        sushi_core::experiments::states_ablation(sushi_core::experiments::Scale::quick())
+    );
+    println!(
+        "{}",
+        sushi_core::experiments::reload_ablation(sushi_core::experiments::Scale::quick())
+    );
     println!("{}", sushi_core::experiments::sync_baseline_ablation());
     println!("{}", sushi_core::experiments::process_ablation());
     println!("{}", sushi_core::experiments::scaleout_study());

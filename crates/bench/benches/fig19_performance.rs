@@ -5,7 +5,7 @@ use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 use sushi_arch::chip::ChipConfig;
 use sushi_arch::PerfModel;
-use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
 
 fn bench(c: &mut Criterion) {

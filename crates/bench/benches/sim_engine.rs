@@ -6,7 +6,7 @@ use std::time::Duration;
 use sushi_arch::npe::NpeNetlist;
 use sushi_arch::state_controller::ScNetlist;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
-use sushi_sim::{Netlist, Simulator};
+use sushi_sim::{BatchRunner, Netlist, Simulator, Stimulus, StimulusBuilder};
 
 /// A deep JTL pipeline: the raw event-propagation path.
 fn jtl_pipeline(depth: usize) -> Netlist {
@@ -50,8 +50,12 @@ fn bench(c: &mut Criterion) {
     // One SC, driven hard.
     let mut sc_net = Netlist::new();
     let ports = ScNetlist::build(&mut sc_net, "sc").unwrap();
-    sc_net.add_input("in", ports.input.cell, ports.input.port).unwrap();
-    sc_net.add_input("set1", ports.set1.cell, ports.set1.port).unwrap();
+    sc_net
+        .add_input("in", ports.input.cell, ports.input.port)
+        .unwrap();
+    sc_net
+        .add_input("set1", ports.set1.cell, ports.set1.port)
+        .unwrap();
     sc_net.probe("out", ports.out.cell, ports.out.port).unwrap();
     let sc_pulses: Vec<Ps> = (0..200).map(|i| 100.0 + i as Ps * 120.0).collect();
     g.throughput(Throughput::Elements(sc_pulses.len() as u64));
@@ -74,7 +78,9 @@ fn bench(c: &mut Criterion) {
     // A 6-SC NPE ripple counter overflowing repeatedly.
     let mut npe_net = Netlist::new();
     let npe = NpeNetlist::build(&mut npe_net, "npe", 6).unwrap();
-    npe_net.add_input("in", npe.input.cell, npe.input.port).unwrap();
+    npe_net
+        .add_input("in", npe.input.cell, npe.input.port)
+        .unwrap();
     for (i, sc) in npe.scs.iter().enumerate() {
         npe_net
             .add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port)
@@ -99,6 +105,36 @@ fn bench(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    // Batch inference over the same pipeline: 32 independent stimulus
+    // sets, sequential vs the scoped-thread worker pool. Same total event
+    // count, so the time ratio is the batch-layer speedup.
+    let batch_items: Vec<Stimulus> = (0..32)
+        .map(|k| {
+            let mut b = StimulusBuilder::new();
+            for i in 0..(60 + k) {
+                b = b.pulse("in", i as Ps * 40.0).unwrap();
+            }
+            b.build()
+        })
+        .collect();
+    let total_pulses: usize = batch_items.iter().map(Stimulus::pulse_count).sum();
+    let runner = BatchRunner::new(&pipeline, &lib);
+    g.throughput(Throughput::Elements(
+        (depth * total_pulses / batch_items.len()) as u64,
+    ));
+    g.bench_function("jtl_batch32_sequential", |b| {
+        b.iter(|| runner.run_sequential(&batch_items).unwrap().len())
+    });
+    g.bench_function(format!("jtl_batch32_parallel_{}w", runner.workers()), |b| {
+        b.iter(|| runner.run(&batch_items).unwrap().len())
+    });
+    // Fixed worker count, so machines with different core counts still
+    // produce a comparable row (on a single-CPU host this only measures
+    // the scoped-thread overhead).
+    let four = runner.clone().with_workers(4);
+    g.bench_function("jtl_batch32_parallel_4w", |b| {
+        b.iter(|| four.run(&batch_items).unwrap().len())
     });
     g.finish();
 }

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2)).sample_size(20);
     g.bench_function("resources_4x4_full_mesh", |b| {
         b.iter_batched(
-            || ChipConfig::mesh(4).with_weights(WeightConfig::full()).build(),
+            || {
+                ChipConfig::mesh(4)
+                    .with_weights(WeightConfig::full())
+                    .build()
+            },
             |chip| chip.resources().total_jj(),
             BatchSize::SmallInput,
         )
@@ -18,7 +22,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("netlist_generation_2x2", |b| {
         b.iter_batched(
             || ChipConfig::mesh(2).with_sc_per_npe(4).build(),
-            |chip| chip.build_netlist().expect("netlist builds").netlist.cell_count(),
+            |chip| {
+                chip.build_netlist()
+                    .expect("netlist builds")
+                    .netlist
+                    .cell_count()
+            },
             BatchSize::SmallInput,
         )
     });

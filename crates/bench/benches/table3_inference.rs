@@ -23,6 +23,18 @@ fn bench(c: &mut Criterion) {
     g.bench_function("chip_inference_one_sample", |b| {
         b.iter(|| chip.run_sample(&program, &img, 0).prediction)
     });
+    // Whole-dataset evaluation, sequential vs the parallel batch layer.
+    let slice = synth_digits(60, 2);
+    g.bench_function("evaluate_60_samples_1_worker", |b| {
+        b.iter(|| chip.evaluate_with_workers(&program, &slice, 1).accuracy)
+    });
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    g.bench_function(format!("evaluate_60_samples_{workers}_workers"), |b| {
+        b.iter(|| {
+            chip.evaluate_with_workers(&program, &slice, workers)
+                .accuracy
+        })
+    });
     g.bench_function("float_reference_one_sample", |b| {
         let enc = model.encoder();
         b.iter(|| {
@@ -31,7 +43,12 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("compile_program", |b| {
-        b.iter(|| Compiler::new(CompilerConfig::paper()).compile(&model).schedule.len())
+        b.iter(|| {
+            Compiler::new(CompilerConfig::paper())
+                .compile(&model)
+                .schedule
+                .len()
+        })
     });
     g.finish();
 }

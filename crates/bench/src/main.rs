@@ -13,7 +13,11 @@ use sushi_core::experiments as exp;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { exp::Scale::quick() } else { exp::Scale::full() };
+    let scale = if quick {
+        exp::Scale::quick()
+    } else {
+        exp::Scale::full()
+    };
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

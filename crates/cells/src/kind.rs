@@ -188,6 +188,16 @@ impl PortName {
         PortName::DoutC,
     ];
 
+    /// Number of distinct port names (the length of [`PortName::ALL`]).
+    pub const COUNT: usize = 10;
+
+    /// Dense 0-based index of this port (its position in [`PortName::ALL`]),
+    /// for array-indexed per-port tables on the simulator hot path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Lowercase name as used in the paper's figures (`din`, `clk`, ...).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -248,7 +258,10 @@ mod tests {
     #[test]
     fn port_dir_detects_inputs_outputs_and_unknown() {
         assert_eq!(CellKind::Dff.port_dir(PortName::Din), Some(PortDir::Input));
-        assert_eq!(CellKind::Dff.port_dir(PortName::Dout), Some(PortDir::Output));
+        assert_eq!(
+            CellKind::Dff.port_dir(PortName::Dout),
+            Some(PortDir::Output)
+        );
         assert_eq!(CellKind::Dff.port_dir(PortName::Rst), None);
         assert_eq!(CellKind::Jtl.port_dir(PortName::DinB), None);
     }
@@ -270,6 +283,14 @@ mod tests {
             CellKind::Ndro.inputs(),
             &[PortName::Din, PortName::Rst, PortName::Clk]
         );
+    }
+
+    #[test]
+    fn port_index_matches_position_in_all() {
+        assert_eq!(PortName::ALL.len(), PortName::COUNT);
+        for (i, p) in PortName::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p}");
+        }
     }
 
     #[test]

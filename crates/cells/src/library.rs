@@ -268,10 +268,23 @@ mod tests {
         let nb = CellLibrary::nb03();
         let adv = CellLibrary::advanced();
         for kind in CellKind::ALL {
-            assert!(adv.params(kind).delay_ps < nb.params(kind).delay_ps, "{kind}");
-            assert!(adv.params(kind).area_um2 < nb.params(kind).area_um2, "{kind}");
-            assert!(adv.params(kind).bias_power_nw < nb.params(kind).bias_power_nw, "{kind}");
-            assert_eq!(adv.params(kind).jj_count, nb.params(kind).jj_count, "{kind}");
+            assert!(
+                adv.params(kind).delay_ps < nb.params(kind).delay_ps,
+                "{kind}"
+            );
+            assert!(
+                adv.params(kind).area_um2 < nb.params(kind).area_um2,
+                "{kind}"
+            );
+            assert!(
+                adv.params(kind).bias_power_nw < nb.params(kind).bias_power_nw,
+                "{kind}"
+            );
+            assert_eq!(
+                adv.params(kind).jj_count,
+                nb.params(kind).jj_count,
+                "{kind}"
+            );
         }
         // Constraints scale with speed.
         let nb_worst = nb.constraints(CellKind::Ndro).worst_case_ps();

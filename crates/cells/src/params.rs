@@ -94,7 +94,10 @@ impl CellParams {
     ///
     /// Panics if any factor is not positive.
     pub fn scaled(&self, delay_f: f64, area_f: f64, power_f: f64) -> Self {
-        assert!(delay_f > 0.0 && area_f > 0.0 && power_f > 0.0, "factors must be positive");
+        assert!(
+            delay_f > 0.0 && area_f > 0.0 && power_f > 0.0,
+            "factors must be positive"
+        );
         Self {
             jj_count: self.jj_count,
             area_um2: self.area_um2 * area_f,

@@ -29,7 +29,11 @@ pub struct Constraint {
 impl Constraint {
     /// Creates a rule that `second` must lag `first` by at least `min_ps`.
     pub fn new(first: PortName, second: PortName, min_ps: Ps) -> Self {
-        Self { first, second, min_ps }
+        Self {
+            first,
+            second,
+            min_ps,
+        }
     }
 }
 
@@ -50,9 +54,21 @@ impl fmt::Display for Constraint {
 /// assert_eq!(t.min_separation(PortName::Din, PortName::Clk), Some(8.53));
 /// assert_eq!(t.min_separation(PortName::Clk, PortName::Rst), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ConstraintTable {
     rules: Vec<Constraint>,
+    /// Rule indices grouped by the arriving (`second`) port, so the
+    /// simulator hot path only inspects rules that can fire for a given
+    /// pulse. Either empty (no rules) or [`PortName::COUNT`] entries;
+    /// rebuilt on every mutation.
+    by_second: Vec<Vec<u32>>,
+}
+
+impl PartialEq for ConstraintTable {
+    fn eq(&self, other: &Self) -> bool {
+        // by_second is derived from rules; comparing it would be redundant.
+        self.rules == other.rules
+    }
 }
 
 impl ConstraintTable {
@@ -113,12 +129,30 @@ impl ConstraintTable {
             // Converters: generic wiring-cell interval.
             CellKind::DcSfq | CellKind::SfqDc => vec![Constraint::new(Din, Din, 19.9)],
         };
-        Self { rules }
+        Self::from_rules(rules)
+    }
+
+    /// Builds a table from explicit rules.
+    pub fn from_rules(rules: Vec<Constraint>) -> Self {
+        let mut t = Self {
+            rules,
+            by_second: Vec::new(),
+        };
+        t.rebuild_index();
+        t
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_second = vec![Vec::new(); PortName::COUNT];
+        for (i, r) in self.rules.iter().enumerate() {
+            self.by_second[r.second.index()].push(i as u32);
+        }
     }
 
     /// Adds a rule to the table (builder style).
     pub fn with_rule(mut self, rule: Constraint) -> Self {
         self.rules.push(rule);
+        self.rebuild_index();
         self
     }
 
@@ -141,20 +175,48 @@ impl ConstraintTable {
     /// arrival times per port; returns every violated rule.
     ///
     /// `last_arrivals` yields `(port, last_time)` pairs; ports without prior
-    /// pulses are simply omitted.
-    pub fn check<'a, I>(&'a self, port: PortName, t: Ps, last_arrivals: I) -> Vec<&'a Constraint>
+    /// pulses are simply omitted (if a port repeats, its last time wins).
+    pub fn check<I>(&self, port: PortName, t: Ps, last_arrivals: I) -> Vec<&Constraint>
     where
         I: IntoIterator<Item = (PortName, Ps)>,
     {
-        let mut violated = Vec::new();
+        let mut dense = [Ps::NEG_INFINITY; PortName::COUNT];
         for (prev_port, prev_t) in last_arrivals {
-            for rule in &self.rules {
-                if rule.first == prev_port && rule.second == port && t - prev_t < rule.min_ps {
-                    violated.push(rule);
-                }
+            dense[prev_port.index()] = prev_t;
+        }
+        let mut violated = Vec::new();
+        self.check_dense(port, t, &dense, |rule, _| violated.push(rule));
+        violated
+    }
+
+    /// Streaming constraint check against a dense per-port arrival table
+    /// (the simulator hot path).
+    ///
+    /// `last_arrival` holds the most recent pulse time per port, indexed by
+    /// [`PortName::index`], with [`Ps::NEG_INFINITY`] meaning "never". Only
+    /// rules whose `second` port is `port` are inspected; `hit` receives
+    /// each violated rule together with the prior arrival time that broke
+    /// it.
+    #[inline]
+    pub fn check_dense<'a, F>(
+        &'a self,
+        port: PortName,
+        t: Ps,
+        last_arrival: &[Ps; PortName::COUNT],
+        mut hit: F,
+    ) where
+        F: FnMut(&'a Constraint, Ps),
+    {
+        let Some(indices) = self.by_second.get(port.index()) else {
+            return;
+        };
+        for &ri in indices {
+            let rule = &self.rules[ri as usize];
+            let prev = last_arrival[rule.first.index()];
+            if t - prev < rule.min_ps {
+                hit(rule, prev);
             }
         }
-        violated
     }
 
     /// The largest `min_ps` over all rules, used as a conservative
@@ -171,13 +233,12 @@ impl ConstraintTable {
     /// Panics if `factor <= 0`.
     pub fn scaled(&self, factor: Ps) -> ConstraintTable {
         assert!(factor > 0.0, "scale factor must be positive");
-        ConstraintTable {
-            rules: self
-                .rules
+        ConstraintTable::from_rules(
+            self.rules
                 .iter()
                 .map(|r| Constraint::new(r.first, r.second, r.min_ps * factor))
                 .collect(),
-        }
+        )
     }
 }
 
@@ -249,6 +310,54 @@ mod tests {
             [(PortName::Din, 40.0), (PortName::Rst, 45.0)],
         );
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn dense_check_matches_sparse_check() {
+        for kind in CellKind::ALL {
+            let table = ConstraintTable::paper_table1(kind);
+            // Arrivals staggered tightly enough that some rule must trip.
+            let arrivals: Vec<(PortName, Ps)> = kind
+                .inputs()
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, 100.0 + i as Ps))
+                .collect();
+            let mut dense = [Ps::NEG_INFINITY; PortName::COUNT];
+            for &(p, t) in &arrivals {
+                dense[p.index()] = t;
+            }
+            for &port in kind.inputs() {
+                let sparse = table.check(port, 104.0, arrivals.iter().copied());
+                let mut streamed = Vec::new();
+                table.check_dense(port, 104.0, &dense, |r, _| streamed.push(r));
+                assert_eq!(sparse, streamed, "{kind} {port}");
+                assert!(!sparse.is_empty(), "{kind} {port} should trip at 4ps lag");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_check_reports_breaking_arrival_time() {
+        let ndro = ConstraintTable::paper_table1(CellKind::Ndro);
+        let mut dense = [Ps::NEG_INFINITY; PortName::COUNT];
+        dense[PortName::Din.index()] = 40.0;
+        dense[PortName::Rst.index()] = 45.0;
+        let mut hits = Vec::new();
+        ndro.check_dense(PortName::Clk, 50.0, &dense, |r, prev| {
+            hits.push((r.first, prev))
+        });
+        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        assert_eq!(hits, vec![(PortName::Din, 40.0), (PortName::Rst, 45.0)]);
+    }
+
+    #[test]
+    fn empty_table_dense_check_is_silent() {
+        let t = ConstraintTable::new();
+        let dense = [0.0; PortName::COUNT];
+        let mut hits = 0;
+        t.check_dense(PortName::Din, 0.0, &dense, |_, _| hits += 1);
+        assert_eq!(hits, 0);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use std::ops::Range;
 use sushi_arch::chip::{ChipConfig, ChipNetlist};
 use sushi_cells::{CellLibrary, Ps};
-use sushi_sim::{Fault, PulseTrain, SimError, Simulator};
+use sushi_sim::{
+    BatchRunner, Fault, PulseTrain, SimError, SimOutcome, Simulator, Stimulus, StimulusBuilder,
+};
 use sushi_ssnn::binarize::BinaryLayer;
 use sushi_ssnn::bitslice::Slice;
 use sushi_ssnn::encode::{SliceEncoder, SETTLE_PS};
@@ -93,8 +95,12 @@ impl CellAccurateChip {
             .filter(|(_, c)| c.label.contains(label_fragment))
             .map(|(id, _)| id)
             .collect();
-        assert!(!matches.is_empty(), "no cell label contains {label_fragment:?}");
-        self.faults.extend(matches.into_iter().map(|id| (id, fault)));
+        assert!(
+            !matches.is_empty(),
+            "no cell label contains {label_fragment:?}"
+        );
+        self.faults
+            .extend(matches.into_iter().map(|id| (id, fault)));
         self
     }
 
@@ -131,9 +137,8 @@ impl CellAccurateChip {
         cols: Range<usize>,
         active: &[bool],
     ) -> Result<CellRunResult, SimError> {
-        assert!(cols.len() <= self.n(), "column block wider than the chip");
-        assert_eq!(active.len(), layer.inputs(), "active width mismatch");
-        let n = self.n();
+        let width = cols.len();
+        let (stim, end_ps) = self.block_stimulus(layer, cols, active);
         let mut sim = Simulator::new(&self.chip.netlist, &self.library);
         for &(cell, fault) in &self.faults {
             sim = sim.with_fault(cell, fault);
@@ -141,7 +146,70 @@ impl CellAccurateChip {
         if let Some((seed, sigma)) = self.jitter {
             sim = sim.with_jitter(seed, sigma);
         }
+        stim.inject_into(&mut sim)?;
+        sim.run_to_completion()?;
+        Ok(Self::package(width, end_ps, sim.take_outcome()))
+    }
+
+    /// Runs many independent column-block time steps in one call, fanned
+    /// across the [`BatchRunner`] worker pool. Each job is a
+    /// `(column range, active inputs)` pair as in
+    /// [`CellAccurateChip::run_column_block`]; results come back in job
+    /// order, bitwise identical to running the jobs sequentially.
+    ///
+    /// Chips carrying injected faults or jitter fall back to the
+    /// sequential fault-capable path (those are verification features, not
+    /// throughput paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the earliest failing job.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`CellAccurateChip::run_column_block`] does on malformed
+    /// jobs.
+    pub fn run_column_blocks(
+        &self,
+        layer: &BinaryLayer,
+        jobs: &[(Range<usize>, Vec<bool>)],
+    ) -> Result<Vec<CellRunResult>, SimError> {
+        if !self.faults.is_empty() || self.jitter.is_some() {
+            return jobs
+                .iter()
+                .map(|(cols, active)| self.run_column_block(layer, cols.clone(), active))
+                .collect();
+        }
+        let mut stimuli = Vec::with_capacity(jobs.len());
+        let mut meta = Vec::with_capacity(jobs.len());
+        for (cols, active) in jobs {
+            let (stim, end_ps) = self.block_stimulus(layer, cols.clone(), active);
+            stimuli.push(stim);
+            meta.push((cols.len(), end_ps));
+        }
+        let outcomes = BatchRunner::new(&self.chip.netlist, &self.library).run(&stimuli)?;
+        Ok(outcomes
+            .into_iter()
+            .zip(meta)
+            .map(|(outcome, (width, end_ps))| Self::package(width, end_ps, outcome))
+            .collect())
+    }
+
+    /// Encodes one column-block time step into a single [`Stimulus`] plus
+    /// its schedule end time.
+    fn block_stimulus(
+        &self,
+        layer: &BinaryLayer,
+        cols: Range<usize>,
+        active: &[bool],
+    ) -> (Stimulus, Ps) {
+        assert!(cols.len() <= self.n(), "column block wider than the chip");
+        assert_eq!(active.len(), layer.inputs(), "active width mismatch");
+        let n = self.n();
         let mut enc = SliceEncoder::new(cols.len(), self.num_states());
+        // The encoder already spaces pulses per Table 1; the builder only
+        // needs to preserve its per-channel ordering.
+        let mut b = StimulusBuilder::with_min_interval(0.0);
         let mut t = 0.0;
         let row_blocks: Vec<Range<usize>> = (0..layer.inputs())
             .step_by(n)
@@ -149,25 +217,37 @@ impl CellAccurateChip {
             .collect();
         let last = row_blocks.len() - 1;
         for (rb, rows) in row_blocks.into_iter().enumerate() {
-            let slice = Slice { layer: 0, rows, cols: cols.clone(), fires: rb == last };
+            let slice = Slice {
+                layer: 0,
+                rows,
+                cols: cols.clone(),
+                fires: rb == last,
+            };
             let sched = enc.next_slice(layer, &slice, active, t);
             for (channel, times) in sched.by_channel() {
-                sim.inject(&channel, &times)?;
+                for &time in &times {
+                    b = b
+                        .pulse(&channel, time)
+                        .expect("encoder emits monotonic channels");
+                }
             }
             // A slice with no active rows emits nothing; time must still
             // move forward monotonically.
             t = sched.end_time().max(t) + SETTLE_PS;
         }
-        sim.run_to_completion()?;
-        let out_trains: Vec<PulseTrain> = (0..cols.len())
-            .map(|cj| PulseTrain::from_times(sim.pulses(&format!("out{cj}")).to_vec()))
+        (b.build(), t)
+    }
+
+    fn package(width: usize, end_ps: Ps, outcome: SimOutcome) -> CellRunResult {
+        let out_trains: Vec<PulseTrain> = (0..width)
+            .map(|cj| PulseTrain::from_times(outcome.pulses(&format!("out{cj}")).to_vec()))
             .collect();
-        Ok(CellRunResult {
+        CellRunResult {
             fired: out_trains.iter().map(|tr| !tr.is_empty()).collect(),
             out_trains,
-            violations: sim.violations().len(),
-            end_ps: t,
-        })
+            violations: outcome.violations.len(),
+            end_ps,
+        }
     }
 
     /// The behavioural prediction for [`CellAccurateChip::run_column_block`]:
@@ -199,19 +279,23 @@ impl CellAccurateChip {
         .collect()
     }
 
-    /// Runs a full layer step: every column block in sequence. Returns the
-    /// spike vector of the layer's output neurons.
+    /// Runs a full layer step: every column block, batched across the
+    /// worker pool. Returns the spike vector of the layer's output
+    /// neurons, identical to running the blocks one by one.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors.
     pub fn run_layer(&self, layer: &BinaryLayer, active: &[bool]) -> Result<Vec<bool>, SimError> {
-        let mut fired = Vec::with_capacity(layer.outputs());
-        for c0 in (0..layer.outputs()).step_by(self.n()) {
-            let cols = c0..(c0 + self.n()).min(layer.outputs());
-            fired.extend(self.run_column_block(layer, cols, active)?.fired);
-        }
-        Ok(fired)
+        let jobs: Vec<(Range<usize>, Vec<bool>)> = (0..layer.outputs())
+            .step_by(self.n())
+            .map(|c0| (c0..(c0 + self.n()).min(layer.outputs()), active.to_vec()))
+            .collect();
+        Ok(self
+            .run_column_blocks(layer, &jobs)?
+            .into_iter()
+            .flat_map(|r| r.fired)
+            .collect())
     }
 }
 
@@ -275,7 +359,10 @@ mod tests {
         active[0] = true;
         active[9] = true;
         let run = chip.run_column_block(&layer, 0..2, &active).unwrap();
-        assert_eq!(run.violations, 0, "empty middle blocks must not rewind time");
+        assert_eq!(
+            run.violations, 0,
+            "empty middle blocks must not rewind time"
+        );
         assert_eq!(run.fired, chip.expected_column_block(&layer, 0..2, &active));
     }
 
@@ -287,9 +374,15 @@ mod tests {
         let layer = BinaryLayer::from_signs(vec![1, -1, 1, 1, 1, -1, 1, 1], 4, 2, vec![2, 2]);
         let active = vec![true; 4];
         for seed in 0..5u64 {
-            let chip = CellAccurateChip::build(2, 4).unwrap().with_jitter(seed, 2.0);
+            let chip = CellAccurateChip::build(2, 4)
+                .unwrap()
+                .with_jitter(seed, 2.0);
             let run = chip.run_column_block(&layer, 0..2, &active).unwrap();
-            assert_eq!(run.fired, chip.expected_column_block(&layer, 0..2, &active), "seed {seed}");
+            assert_eq!(
+                run.fired,
+                chip.expected_column_block(&layer, 0..2, &active),
+                "seed {seed}"
+            );
             assert_eq!(run.violations, 0, "seed {seed}");
         }
     }
@@ -313,6 +406,30 @@ mod tests {
         let bad = broken.run_column_block(&layer, 0..2, &active).unwrap();
         assert_ne!(bad.fired, expected, "verification must expose the defect");
         assert!(!bad.fired[0]);
+    }
+
+    /// The batched path must reproduce the sequential per-block runs
+    /// bitwise, including pulse trains and violation counts.
+    #[test]
+    fn batched_blocks_match_sequential_runs() {
+        let chip = CellAccurateChip::build(2, 4).unwrap();
+        let signs = vec![1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, -1];
+        let layer = BinaryLayer::from_signs(signs, 6, 2, vec![3, 2]);
+        let jobs: Vec<(std::ops::Range<usize>, Vec<bool>)> = (0..8u32)
+            .map(|mask| {
+                (
+                    0..2usize,
+                    (0..6).map(|b| mask >> (b % 3) & 1 == 1).collect(),
+                )
+            })
+            .collect();
+        let batched = chip.run_column_blocks(&layer, &jobs).unwrap();
+        for (job, got) in jobs.iter().zip(&batched) {
+            let seq = chip
+                .run_column_block(&layer, job.0.clone(), &job.1)
+                .unwrap();
+            assert_eq!(*got, seq);
+        }
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl SushiChip {
     /// The paper's peak evaluation configuration: a 16x16 bare-NPE mesh
     /// (32 NPEs, ~1e5 JJs).
     pub fn paper() -> Self {
-        Self { design: ChipConfig::mesh(16).build() }
+        Self {
+            design: ChipConfig::mesh(16).build(),
+        }
     }
 
     /// A chip from an explicit design.
@@ -78,7 +80,12 @@ impl SushiChip {
     /// # Panics
     ///
     /// Panics if the program was compiled for a different chip width.
-    pub fn run_sample(&self, program: &ChipProgram, image: &[f32], sample_id: u64) -> InferenceOutcome {
+    pub fn run_sample(
+        &self,
+        program: &ChipProgram,
+        image: &[f32],
+        sample_id: u64,
+    ) -> InferenceOutcome {
         self.check_program(program);
         let frames = program.encode_input(image, sample_id);
         let exec = program.executor();
@@ -89,21 +96,77 @@ impl SushiChip {
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i)
             .expect("at least one class");
-        InferenceOutcome { prediction, counts, stats }
+        InferenceOutcome {
+            prediction,
+            counts,
+            stats,
+        }
     }
 
     /// Evaluates `program` over `data` (sample ids are dataset indices,
-    /// matching the float reference).
+    /// matching the float reference), fanning samples across one worker
+    /// per available CPU. Deterministic: identical to the single-worker
+    /// evaluation for any worker count.
     ///
     /// # Panics
     ///
     /// Panics if the program was compiled for a different chip width.
     pub fn evaluate(&self, program: &ChipProgram, data: &Dataset) -> ChipEvaluation {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.evaluate_with_workers(program, data, workers)
+    }
+
+    /// Evaluates `program` over `data` on exactly `workers` threads
+    /// (clamped to at least 1). Samples are independent, assigned to
+    /// workers in contiguous chunks and merged back in dataset order, so
+    /// the result is bitwise identical regardless of `workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program was compiled for a different chip width, or
+    /// if a worker thread panics.
+    pub fn evaluate_with_workers(
+        &self,
+        program: &ChipProgram,
+        data: &Dataset,
+        workers: usize,
+    ) -> ChipEvaluation {
         self.check_program(program);
+        let outcomes: Vec<InferenceOutcome> = if workers <= 1 || data.len() <= 1 {
+            data.images
+                .iter()
+                .enumerate()
+                .map(|(i, img)| self.run_sample(program, img, i as u64))
+                .collect()
+        } else {
+            let chunk = data.len().div_ceil(workers);
+            let mut slots: Vec<Option<InferenceOutcome>> = vec![None; data.len()];
+            crossbeam::thread::scope(|s| {
+                for (ci, (imgs, out)) in data
+                    .images
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    s.spawn(move |_| {
+                        for (off, (img, slot)) in imgs.iter().zip(out.iter_mut()).enumerate() {
+                            *slot = Some(self.run_sample(program, img, (ci * chunk + off) as u64));
+                        }
+                    });
+                }
+            })
+            .expect("evaluation worker panicked");
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every slot written by its worker"))
+                .collect()
+        };
+        // Merge in dataset order — the same fold the sequential loop does.
         let mut predictions = Vec::with_capacity(data.len());
         let mut stats = ExecStats::default();
-        for (i, img) in data.images.iter().enumerate() {
-            let outcome = self.run_sample(program, img, i as u64);
+        for outcome in outcomes {
             predictions.push(outcome.prediction);
             stats.merge(&outcome.stats);
         }
@@ -194,6 +257,21 @@ mod tests {
         assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
         assert_eq!(eval.predictions.len(), 40);
         assert!(eval.reload.reload_share() < 0.6);
+    }
+
+    /// The parallel evaluation is bitwise identical to the sequential one
+    /// for any worker count.
+    #[test]
+    fn evaluate_is_worker_count_invariant() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let data = synth_digits(30, 4);
+        let reference = chip.evaluate_with_workers(&program, &data, 1);
+        for workers in [2, 4, 7] {
+            let got = chip.evaluate_with_workers(&program, &data, workers);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+        assert_eq!(chip.evaluate(&program, &data), reference);
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub fn table4_rows() -> Vec<EvalRow> {
 /// SUSHI's peak-throughput advantage over TrueNorth (paper: 23x).
 pub fn speedup_vs_truenorth() -> f64 {
     let sushi = sushi_row().gsops.expect("SUSHI publishes GSOPS");
-    sushi / Baseline::truenorth().gsops.expect("TrueNorth publishes GSOPS")
+    sushi
+        / Baseline::truenorth()
+            .gsops
+            .expect("TrueNorth publishes GSOPS")
 }
 
 /// SUSHI's efficiency advantage over a baseline (paper: 81x TrueNorth,

@@ -46,12 +46,24 @@ pub struct Scale {
 impl Scale {
     /// Paper-comparable scale (~30 s of training per dataset in release).
     pub fn full() -> Self {
-        Self { samples: 5000, epochs: 8, hidden: 800, lr: 1e-3, batch: 32 }
+        Self {
+            samples: 5000,
+            epochs: 8,
+            hidden: 800,
+            lr: 1e-3,
+            batch: 32,
+        }
     }
 
     /// A quick scale for tests and smoke runs.
     pub fn quick() -> Self {
-        Self { samples: 1000, epochs: 15, hidden: 96, lr: 5e-3, batch: 16 }
+        Self {
+            samples: 1000,
+            epochs: 15,
+            hidden: 96,
+            lr: 5e-3,
+            batch: 16,
+        }
     }
 
     fn config(&self) -> TrainConfig {
@@ -89,7 +101,9 @@ pub fn table1() -> String {
 
 /// Table 2: resource overhead of the 4x4 mesh with weight structures.
 pub fn table2() -> (ResourceReport, String) {
-    let chip = ChipConfig::mesh(4).with_weights(WeightConfig::full()).build();
+    let chip = ChipConfig::mesh(4)
+        .with_weights(WeightConfig::full())
+        .build();
     let r = chip.resources();
     let text = format!(
         "## Table 2: resource overhead of a 4x4 mesh of NPEs\n\
@@ -144,7 +158,14 @@ pub fn fig13() -> (Vec<Fig13Point>, String) {
     for p in &mut points {
         p.linear_ref_jj = base * p.npes as f64;
     }
-    let mut t = TextTable::new(&["NPEs (mesh)", "JJs", "logic", "wiring", "linear ref", "area mm^2"]);
+    let mut t = TextTable::new(&[
+        "NPEs (mesh)",
+        "JJs",
+        "logic",
+        "wiring",
+        "linear ref",
+        "area mm^2",
+    ]);
     for p in &points {
         t = t.row_owned(vec![
             format!("{} ({}x{})", p.npes, p.n, p.n),
@@ -275,8 +296,12 @@ pub fn fig16() -> (Fig16Result, String) {
     cfg.lr = 5e-3;
     cfg.batch = 16;
     let model = Trainer::new(cfg).fit(&train);
-    let program = Compiler::new(CompilerConfig { chip_n: 2, sc_per_npe: 6, buckets: 4 })
-        .compile(&model);
+    let program = Compiler::new(CompilerConfig {
+        chip_n: 2,
+        sc_per_npe: 6,
+        buckets: 4,
+    })
+    .compile(&model);
     // Pick the first test sample whose behavioural output actually spikes,
     // so the waveforms show pulses (like the paper's label1: 0-1-1-1-1).
     let sample = (0..test.len())
@@ -295,7 +320,10 @@ pub fn fig16() -> (Fig16Result, String) {
     let labels = out_layer.outputs();
     let mut chip_fires = vec![vec![false; t_steps]; labels];
     let mut sim_fires = vec![vec![false; t_steps]; labels];
-    let mut violations = 0;
+    // Every (time step, column block) run is independent: collect them all
+    // and fan them across the batch layer in one call.
+    let mut jobs = Vec::new();
+    let mut job_at = Vec::new();
     for (t, frame) in frames.iter().enumerate() {
         // Hidden spikes drive the output layer.
         let acc = hidden_layer.accumulate(frame);
@@ -306,15 +334,20 @@ pub fn fig16() -> (Fig16Result, String) {
             .collect();
         for c0 in (0..labels).step_by(chip.n()) {
             let cols = c0..(c0 + chip.n()).min(labels);
-            let run = chip
-                .run_column_block(out_layer, cols.clone(), &hidden)
-                .expect("cell-accurate run succeeds");
-            violations += run.violations;
-            let expect = chip.expected_column_block(out_layer, cols.clone(), &hidden);
-            for (k, j) in cols.enumerate() {
-                chip_fires[j][t] = run.fired[k];
-                sim_fires[j][t] = expect[k];
-            }
+            jobs.push((cols.clone(), hidden.clone()));
+            job_at.push((t, cols));
+        }
+    }
+    let runs = chip
+        .run_column_blocks(out_layer, &jobs)
+        .expect("cell-accurate runs succeed");
+    let mut violations = 0;
+    for (run, ((t, cols), (_, hidden))) in runs.iter().zip(job_at.into_iter().zip(&jobs)) {
+        violations += run.violations;
+        let expect = chip.expected_column_block(out_layer, cols.clone(), hidden);
+        for (k, j) in cols.enumerate() {
+            chip_fires[j][t] = run.fired[k];
+            sim_fires[j][t] = expect[k];
         }
     }
 
@@ -335,7 +368,10 @@ pub fn fig16() -> (Fig16Result, String) {
         counts.push(train.len());
     }
     let chip_prediction = Oscilloscope::infer(&counts);
-    let sim_counts: Vec<usize> = sim_fires.iter().map(|f| f.iter().filter(|x| **x).count()).collect();
+    let sim_counts: Vec<usize> = sim_fires
+        .iter()
+        .map(|f| f.iter().filter(|x| **x).count())
+        .collect();
     let sim_prediction = Oscilloscope::infer(&sim_counts);
 
     let result = Fig16Result {
@@ -364,8 +400,15 @@ pub fn fig16() -> (Fig16Result, String) {
 /// Table 4: comparison with TrueNorth and Tianjic.
 pub fn table4() -> String {
     let mut t = TextTable::new(&[
-        "Platform", "Model", "Memory", "Technology", "Clock (MHz)", "Area (mm^2)", "Power (mW)",
-        "GSOPS", "GSOPS/W",
+        "Platform",
+        "Model",
+        "Memory",
+        "Technology",
+        "Clock (MHz)",
+        "Area (mm^2)",
+        "Power (mW)",
+        "GSOPS",
+        "GSOPS/W",
     ]);
     for r in table4_rows() {
         t = t.row_owned(vec![
@@ -397,7 +440,11 @@ pub fn fig19_20_21() -> (Vec<sushi_arch::power::PerfPoint>, String) {
         .map(|&n| PerfModel::new(&ChipConfig::mesh(n).build()).evaluate())
         .collect();
     let mut t = TextTable::new(&[
-        "NPEs (mesh)", "GSOPS", "power (mW)", "GSOPS/W", "wire delay share",
+        "NPEs (mesh)",
+        "GSOPS",
+        "power (mW)",
+        "GSOPS/W",
+        "wire delay share",
     ]);
     for p in &points {
         t = t.row_owned(vec![
@@ -449,14 +496,23 @@ pub fn reload_ablation(scale: Scale) -> String {
     let eval_n = test.len().min(60);
 
     let mut table = TextTable::new(&[
-        "ordering", "polarity switches / neuron-step", "reload share", "hazard rate", "consistency vs reference",
+        "ordering",
+        "polarity switches / neuron-step",
+        "reload share",
+        "hazard rate",
+        "consistency vs reference",
     ]);
     for (name, buckets, natural) in [
         ("natural (input order)", 1usize, true),
         ("inhibitory-first", 1, false),
         ("bucketed x16", 16, false),
     ] {
-        let mut exec = SsnnExecutor::new(&program.net, FireSemantics::FirstCrossing, program.config.num_states(), buckets);
+        let mut exec = SsnnExecutor::new(
+            &program.net,
+            FireSemantics::FirstCrossing,
+            program.config.num_states(),
+            buckets,
+        );
         if natural {
             for (l, layer) in program.net.layers().iter().enumerate() {
                 for j in 0..layer.outputs() {
@@ -476,7 +532,10 @@ pub fn reload_ablation(scale: Scale) -> String {
         let b = breakdown(&stats, 16);
         table = table.row_owned(vec![
             name.to_owned(),
-            format!("{:.1}", stats.polarity_switches as f64 / stats.neuron_steps as f64),
+            format!(
+                "{:.1}",
+                stats.polarity_switches as f64 / stats.neuron_steps as f64
+            ),
             format!("{:.1}%", b.reload_share() * 100.0),
             format!("{:.4}", stats.hazard_rate()),
             format!("{:.1}%", agree as f64 / eval_n as f64 * 100.0),
@@ -529,8 +588,13 @@ pub fn states_ablation(scale: Scale) -> String {
 pub fn scaleout_study() -> String {
     use sushi_arch::MultiChip;
     let mut t = TextTable::new(&[
-        "chips", "total JJs", "peak GSOPS", "power (mW)", "GSOPS/W",
-        "sustained @10% cross-chip", "break-even fraction",
+        "chips",
+        "total JJs",
+        "peak GSOPS",
+        "power (mW)",
+        "GSOPS/W",
+        "sustained @10% cross-chip",
+        "break-even fraction",
     ]);
     for chips in [1usize, 2, 4, 8, 16] {
         let b = MultiChip::new(chips, 16);
@@ -558,8 +622,8 @@ pub fn scaleout_study() -> String {
 pub fn conv_demo() -> String {
     use sushi_snn::conv::Conv2d;
     use sushi_snn::Matrix;
-    use sushi_ssnn::binarize_conv;
     use sushi_ssnn::binarize::BinarizedSnn;
+    use sushi_ssnn::binarize_conv;
     use sushi_ssnn::bitslice::SliceSchedule;
 
     let w = Matrix::from_vec(4, 1, vec![0.5, -0.5, 0.5, 0.5]);
@@ -576,14 +640,20 @@ pub fn conv_demo() -> String {
     let mut all_match = true;
     let mut cell_match = true;
     for seed in 0..12u32 {
-        let frame: Vec<bool> = (0..16).map(|i| (seed.wrapping_mul(i as u32 + 5)) % 3 == 0).collect();
+        let frame: Vec<bool> = (0..16)
+            .map(|i| (seed.wrapping_mul(i as u32 + 5)) % 3 == 0)
+            .collect();
         let behavioural = net.step(&frame);
         all_match &= sched.sliced_step(&net, &frame) == behavioural;
         let mut cell = Vec::new();
         let mut expected = Vec::new();
         for c0 in (0..layer.outputs()).step_by(3) {
             let cols = c0..(c0 + 3).min(layer.outputs());
-            cell.extend(chip.run_column_block(&layer, cols.clone(), &frame).expect("cell run").fired);
+            cell.extend(
+                chip.run_column_block(&layer, cols.clone(), &frame)
+                    .expect("cell run")
+                    .fired,
+            );
             expected.extend(chip.expected_column_block(&layer, cols, &frame));
         }
         cell_match &= cell == expected;
@@ -607,7 +677,12 @@ pub fn conv_demo() -> String {
 /// superconducting circuit technology".
 pub fn process_ablation() -> String {
     let mut t = TextTable::new(&[
-        "process", "area (mm^2)", "GSOPS", "power (mW)", "GSOPS/W", "safe interval (ps)",
+        "process",
+        "area (mm^2)",
+        "GSOPS",
+        "power (mW)",
+        "GSOPS/W",
+        "safe interval (ps)",
     ]);
     for (name, lib) in [
         ("SIMIT-Nb03-like (2 um)", CellLibrary::nb03()),
@@ -625,9 +700,7 @@ pub fn process_ablation() -> String {
             format!("{:.1}", safe),
         ]);
     }
-    format!(
-        "## Process-scaling ablation (same 32-NPE design, two processes)\n{t}"
-    )
+    format!("## Process-scaling ablation (same 32-NPE design, two processes)\n{t}")
 }
 
 /// Section 3 motivation: SUSHI's asynchronous, memory-free design vs a
@@ -641,14 +714,23 @@ pub fn sync_baseline_ablation() -> String {
     let sushi_res = sushi.resources();
     let perf = PerfModel::new(&sushi);
     let mut t = TextTable::new(&[
-        "design", "JJs", "wiring share", "peak GSOPS", "sustained GSOPS", "GSOPS/W",
+        "design",
+        "JJs",
+        "wiring share",
+        "peak GSOPS",
+        "sustained GSOPS",
+        "GSOPS/W",
     ]);
     t = t.row_owned(vec![
         "synchronous (SuperNPU-like)".to_owned(),
         sync_res.total_jj().to_string(),
         format!("{:.1}%", sync_res.wiring_fraction() * 100.0),
         format!("{:.0}", sync.peak_gsops()),
-        format!("{:.1} ({:.0}% of peak)", sync.sustained_gsops(), sync.sustained_utilization() * 100.0),
+        format!(
+            "{:.1} ({:.0}% of peak)",
+            sync.sustained_gsops(),
+            sync.sustained_utilization() * 100.0
+        ),
         format!("{:.0}", sync.gsops_per_w()),
     ]);
     t = t.row_owned(vec![
@@ -658,8 +740,12 @@ pub fn sync_baseline_ablation() -> String {
         format!("{:.0}", perf.gsops()),
         format!(
             "{:.0} ({:.0}% of peak)",
-            perf.gsops() * sushi_arch::power::SLICE_UTILIZATION * (1.0 - sushi_arch::power::RELOAD_TIME_SHARE),
-            sushi_arch::power::SLICE_UTILIZATION * (1.0 - sushi_arch::power::RELOAD_TIME_SHARE) * 100.0
+            perf.gsops()
+                * sushi_arch::power::SLICE_UTILIZATION
+                * (1.0 - sushi_arch::power::RELOAD_TIME_SHARE),
+            sushi_arch::power::SLICE_UTILIZATION
+                * (1.0 - sushi_arch::power::RELOAD_TIME_SHARE)
+                * 100.0
         ),
         format!("{:.0}", perf.gsops_per_w()),
     ]);
@@ -692,7 +778,12 @@ pub fn quantization_ablation(scale: Scale) -> String {
             .map(|m| m.as_slice().iter().map(|&v| v > 0.5).collect())
             .collect()
     };
-    let mut table = TextTable::new(&["weights", "accuracy", "consistency vs float", "reload ops / neuron-step"]);
+    let mut table = TextTable::new(&[
+        "weights",
+        "accuracy",
+        "consistency vs float",
+        "reload ops / neuron-step",
+    ]);
     // Binary path.
     let program = Compiler::new(CompilerConfig::paper()).compile(&model);
     let chip = SushiChip::paper();
@@ -700,8 +791,14 @@ pub fn quantization_ablation(scale: Scale) -> String {
     table = table.row_owned(vec![
         "binary (±1)".to_owned(),
         format!("{:.2}%", eval.accuracy * 100.0),
-        format!("{:.2}%", consistency(&float_preds, &eval.predictions) * 100.0),
-        format!("{:.1}", eval.stats.polarity_switches as f64 / eval.stats.neuron_steps as f64),
+        format!(
+            "{:.2}%",
+            consistency(&float_preds, &eval.predictions) * 100.0
+        ),
+        format!(
+            "{:.1}",
+            eval.stats.polarity_switches as f64 / eval.stats.neuron_steps as f64
+        ),
     ]);
     // Quantized paths.
     for max_gain in [4u16, 16] {
@@ -887,8 +984,14 @@ mod tests {
     #[test]
     fn conv_demo_verifies_equivalence() {
         let s = conv_demo();
-        assert!(s.contains("sliced == unsliced on 12 random frames: true"), "{s}");
-        assert!(s.contains("cell-accurate chip == behavioural prediction: true"), "{s}");
+        assert!(
+            s.contains("sliced == unsliced on 12 random frames: true"),
+            "{s}"
+        );
+        assert!(
+            s.contains("cell-accurate chip == behavioural prediction: true"),
+            "{s}"
+        );
     }
 
     #[test]

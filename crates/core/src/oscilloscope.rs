@@ -60,7 +60,13 @@ impl Oscilloscope {
 
     /// Formats a label line like the paper's Fig. 16(d):
     /// `label3: 0-0-0-0-1`.
-    pub fn label_line(&self, label: usize, pulses: &PulseTrain, end_ps: Ps, windows: usize) -> String {
+    pub fn label_line(
+        &self,
+        label: usize,
+        pulses: &PulseTrain,
+        end_ps: Ps,
+        windows: usize,
+    ) -> String {
         let seq: Vec<String> = self
             .pulse_sequence(pulses, end_ps, windows)
             .iter()

@@ -25,7 +25,10 @@ pub struct TextTable {
 impl TextTable {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (builder style).
@@ -35,7 +38,8 @@ impl TextTable {
     /// Panics if the cell count differs from the header count.
     pub fn row(mut self, cells: &[&str]) -> Self {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
         self
     }
 

@@ -1,0 +1,363 @@
+//! Deterministic parallel batch simulation.
+//!
+//! Inference workloads run the *same* netlist over many independent
+//! stimulus sets (one per input sample). [`BatchRunner`] fans those items
+//! across a pool of scoped worker threads, reusing one [`Simulator`] per
+//! worker via [`Simulator::reset`], and merges the per-item
+//! [`SimOutcome`]s back in input order.
+//!
+//! # Determinism
+//!
+//! Results are bitwise identical to running every item sequentially on a
+//! fresh simulator, regardless of worker count:
+//!
+//! - Each item is an independent simulation; workers share nothing but the
+//!   immutable netlist and cell library.
+//! - [`Simulator::reset`] rewinds *all* dynamic state, including the event
+//!   sequence counter and the jitter RNG, so a reused simulator behaves
+//!   exactly like a fresh one.
+//! - When jitter is enabled, each item gets its own stream seeded by
+//!   [`item_seed`] — a pure function of the base seed and the item's input
+//!   index, not of which worker ran it.
+//! - Items are assigned to workers in contiguous chunks and each worker
+//!   writes only its own output slots, so the merged vector is in input
+//!   order by construction. Errors are reported for the earliest input
+//!   index that failed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sushi_cells::{CellKind, CellLibrary, PortName};
+//! use sushi_sim::{BatchRunner, Netlist, StimulusBuilder};
+//!
+//! let mut n = Netlist::new();
+//! let src = n.add_cell(CellKind::DcSfq, "src");
+//! let tff = n.add_cell(CellKind::Tffl, "tff");
+//! n.connect(src, PortName::Dout, tff, PortName::Din).unwrap();
+//! n.add_input("in", src, PortName::Din).unwrap();
+//! n.probe("out", tff, PortName::Dout).unwrap();
+//! let lib = CellLibrary::nb03();
+//!
+//! let items: Vec<_> = (1..=4)
+//!     .map(|k| {
+//!         let mut b = StimulusBuilder::new();
+//!         for i in 0..2 * k {
+//!             b = b.pulse("in", 100.0 + 40.0 * i as f64).unwrap();
+//!         }
+//!         b.build()
+//!     })
+//!     .collect();
+//!
+//! let outcomes = BatchRunner::new(&n, &lib).with_workers(2).run(&items).unwrap();
+//! // TFFL divides by two: item k saw 2k pulses, emits k.
+//! let counts: Vec<usize> = outcomes.iter().map(|o| o.pulses("out").len()).collect();
+//! assert_eq!(counts, vec![1, 2, 3, 4]);
+//! ```
+
+use crate::engine::{SimError, SimOutcome, Simulator};
+use crate::netlist::Netlist;
+use crate::stimulus::Stimulus;
+use std::num::NonZeroUsize;
+use sushi_cells::{CellLibrary, Ps};
+
+/// Derives the per-item jitter seed from the batch's base seed and the
+/// item's input index. Pure and worker-independent, so re-running a batch
+/// with any worker count reproduces every item's jitter stream. The odd
+/// multiplier (2^64 / phi) decorrelates neighbouring indices.
+pub fn item_seed(base: u64, index: usize) -> u64 {
+    base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs batches of stimulus sets over one netlist on a worker pool.
+///
+/// See the [module docs](self) for the determinism guarantee and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct BatchRunner<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    workers: usize,
+    event_limit: Option<u64>,
+    jitter: Option<(u64, Ps)>,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// A runner over `netlist`/`library` using one worker per available
+    /// CPU.
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self {
+            netlist,
+            library,
+            workers,
+            event_limit: None,
+            jitter: None,
+        }
+    }
+
+    /// Sets the worker count (builder style). Clamped to at least 1; one
+    /// worker means the batch runs on the calling thread.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the per-item delivered-event budget (builder style).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = Some(limit);
+        self
+    }
+
+    /// Enables Gaussian timing jitter (builder style). Item `i` streams
+    /// from [`item_seed`]`(base_seed, i)`, independent of worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_ps` is negative (propagated from
+    /// [`Simulator::with_jitter`]).
+    pub fn with_jitter(mut self, base_seed: u64, sigma_ps: Ps) -> Self {
+        assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
+        self.jitter = Some((base_seed, sigma_ps));
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn make_simulator(&self) -> Simulator<'a> {
+        let mut sim = Simulator::new(self.netlist, self.library);
+        if let Some(limit) = self.event_limit {
+            sim = sim.with_event_limit(limit);
+        }
+        if let Some((seed, sigma)) = self.jitter {
+            // Per-item reseeding happens in `run_item`; the base seed here
+            // only makes the builder state explicit.
+            sim = sim.with_jitter(seed, sigma);
+        }
+        sim
+    }
+
+    fn run_item(
+        &self,
+        sim: &mut Simulator<'a>,
+        index: usize,
+        item: &Stimulus,
+    ) -> Result<SimOutcome, SimError> {
+        sim.reset();
+        if let Some((base, _)) = self.jitter {
+            sim.reseed_jitter(item_seed(base, index));
+        }
+        item.inject_into(sim)?;
+        sim.run_to_completion()?;
+        Ok(sim.take_outcome())
+    }
+
+    /// Runs every item and returns the outcomes in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-indexed item that failed
+    /// (unknown stimulus channel or exhausted event budget).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a worker thread (none originate in the
+    /// simulator itself).
+    pub fn run(&self, items: &[Stimulus]) -> Result<Vec<SimOutcome>, SimError> {
+        if self.workers <= 1 || items.len() <= 1 {
+            return self.run_sequential(items);
+        }
+        let chunk = items.len().div_ceil(self.workers);
+        let mut slots: Vec<Option<Result<SimOutcome, SimError>>> = vec![None; items.len()];
+        let run_chunk =
+            |start: usize, items: &[Stimulus], out: &mut [Option<Result<SimOutcome, SimError>>]| {
+                let mut sim = self.make_simulator();
+                for (off, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+                    *slot = Some(self.run_item(&mut sim, start + off, item));
+                }
+            };
+        let run_chunk = &run_chunk;
+        crossbeam::thread::scope(|s| {
+            for (ci, (item_chunk, slot_chunk)) in
+                items.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
+            {
+                s.spawn(move |_| run_chunk(ci * chunk, item_chunk, slot_chunk));
+            }
+        })
+        .expect("batch worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot written by its worker"))
+            .collect()
+    }
+
+    /// Runs every item on the calling thread — the reference semantics the
+    /// parallel path must reproduce bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-indexed item that failed.
+    pub fn run_sequential(&self, items: &[Stimulus]) -> Result<Vec<SimOutcome>, SimError> {
+        let mut sim = self.make_simulator();
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| self.run_item(&mut sim, i, item))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::StimulusBuilder;
+    use sushi_cells::{CellKind, PortName};
+    use PortName::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::nb03()
+    }
+
+    /// in -> dcsfq -> spl2 -> (tffl, cb) with the other splitter branch
+    /// delayed into the CB: equal-time event pairs plus stateful division.
+    fn small_design() -> Netlist {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        let spl = n.add_cell(CellKind::Spl2, "spl");
+        let tff = n.add_cell(CellKind::Tffl, "tff");
+        let cb = n.add_cell(CellKind::Cb2, "cb");
+        n.connect(src, Dout, spl, Din).unwrap();
+        n.connect(spl, DoutA, tff, Din).unwrap();
+        n.connect_with_delay(spl, DoutB, cb, DinA, 30.0).unwrap();
+        n.connect(tff, Dout, cb, DinB).unwrap();
+        n.add_input("in", src, Din).unwrap();
+        n.probe("out", cb, Dout).unwrap();
+        n.probe("half", tff, Dout).unwrap();
+        n
+    }
+
+    fn batch(len: usize) -> Vec<Stimulus> {
+        (0..len)
+            .map(|k| {
+                let mut b = StimulusBuilder::new();
+                for i in 0..(3 + k % 5) {
+                    b = b.pulse("in", 100.0 + 40.0 * i as Ps).unwrap();
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(13);
+        let runner = BatchRunner::new(&n, &l);
+        let reference = runner.run_sequential(&items).unwrap();
+        for workers in [1, 2, 3, 4, 8] {
+            let got = runner.clone().with_workers(workers).run(&items).unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_jitter() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(9);
+        let runner = BatchRunner::new(&n, &l).with_jitter(0xC0FFEE, 2.0);
+        let reference = runner.run_sequential(&items).unwrap();
+        for workers in [2, 4] {
+            let got = runner.clone().with_workers(workers).run(&items).unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+        // Jitter actually perturbed the waveforms vs the nominal run.
+        let nominal = BatchRunner::new(&n, &l).run_sequential(&items).unwrap();
+        assert_ne!(reference, nominal);
+    }
+
+    #[test]
+    fn outcomes_preserve_input_order() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(10);
+        let outcomes = BatchRunner::new(&n, &l)
+            .with_workers(4)
+            .run(&items)
+            .unwrap();
+        // Item k injected 3 + k%5 pulses; TFFL emits on every 0 -> 1 flip,
+        // i.e. on odd-numbered pulses: ceil(p / 2).
+        for (k, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.pulses("half").len(), (3 + k % 5).div_ceil(2), "item {k}");
+        }
+    }
+
+    #[test]
+    fn earliest_error_wins() {
+        let n = small_design();
+        let l = lib();
+        let mut items = batch(8);
+        items[2] = StimulusBuilder::new().pulse("nope", 0.0).unwrap().build();
+        items[6] = StimulusBuilder::new()
+            .pulse("also_bad", 0.0)
+            .unwrap()
+            .build();
+        for workers in [1, 4] {
+            let err = BatchRunner::new(&n, &l)
+                .with_workers(workers)
+                .run(&items)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::UnknownInput("nope".into()),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let n = small_design();
+        let l = lib();
+        assert_eq!(BatchRunner::new(&n, &l).run(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(3);
+        let runner = BatchRunner::new(&n, &l);
+        let reference = runner.run_sequential(&items).unwrap();
+        assert_eq!(
+            runner.clone().with_workers(16).run(&items).unwrap(),
+            reference
+        );
+    }
+
+    #[test]
+    fn item_seed_depends_on_index_not_worker() {
+        let s0 = item_seed(99, 0);
+        let s1 = item_seed(99, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(item_seed(99, 1), s1, "pure function of (base, index)");
+    }
+
+    #[test]
+    fn event_limit_propagates() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(4);
+        let err = BatchRunner::new(&n, &l)
+            .with_event_limit(1)
+            .with_workers(2)
+            .run(&items)
+            .unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded(1));
+    }
+}

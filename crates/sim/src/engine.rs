@@ -14,12 +14,14 @@ use sushi_cells::{CellKind, CellLibrary, Constraint, PortName, Ps};
 pub const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
 
 /// A timing or logical violation observed during simulation.
+///
+/// Stores only the offending [`CellId`] (not its label) so the hot path
+/// never clones strings; resolve human-readable labels at report time via
+/// [`Violation::describe`] or [`Simulator::violation_reports`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
     /// The offending cell.
     pub cell: CellId,
-    /// Its instance label.
-    pub label: String,
     /// Its kind.
     pub kind: CellKind,
     /// When the violation occurred (ps).
@@ -42,16 +44,28 @@ pub enum ViolationDetail {
     Logical(LogicalIssue),
 }
 
+impl Violation {
+    /// Formats the violation with the cell's instance label resolved from
+    /// `netlist` (which must be the netlist the violation was recorded on).
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        format!("{} [{}]", self, netlist.cell(self.cell).label)
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.detail {
             ViolationDetail::Timing { rule, prev_time } => write!(
                 f,
                 "t={:.2}ps {} ({}): {} violated (prev pulse at {:.2}ps)",
-                self.time, self.label, self.kind, rule, prev_time
+                self.time, self.cell, self.kind, rule, prev_time
             ),
             ViolationDetail::Logical(issue) => {
-                write!(f, "t={:.2}ps {} ({}): {}", self.time, self.label, self.kind, issue)
+                write!(
+                    f,
+                    "t={:.2}ps {} ({}): {}",
+                    self.time, self.cell, self.kind, issue
+                )
             }
         }
     }
@@ -106,7 +120,10 @@ impl fmt::Display for SimError {
             SimError::UnknownInput(n) => write!(f, "unknown input {n:?}"),
             SimError::UnknownProbe(n) => write!(f, "unknown probe {n:?}"),
             SimError::EventLimitExceeded(n) => {
-                write!(f, "event limit {n} exceeded; possible zero-delay feedback loop")
+                write!(
+                    f,
+                    "event limit {n} exceeded; possible zero-delay feedback loop"
+                )
             }
         }
     }
@@ -126,6 +143,45 @@ pub enum Fault {
     IgnoreInput,
 }
 
+/// Deterministic Gaussian timing jitter on cell delays. Keeps its seed so
+/// [`Simulator::reset`] can rewind the stream to its exact start.
+#[derive(Debug, Clone)]
+struct Jitter {
+    seed: u64,
+    sigma_ps: Ps,
+    rng: StdRng,
+}
+
+impl Jitter {
+    fn new(seed: u64, sigma_ps: Ps) -> Self {
+        Self {
+            seed,
+            sigma_ps,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Detached results of one simulation run: probe traces, violations and
+/// aggregate statistics. Produced by [`Simulator::take_outcome`] and
+/// returned per item by the batch layer ([`crate::BatchRunner`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Pulse times per probe name.
+    pub traces: BTreeMap<String, Vec<Ps>>,
+    /// Violations recorded during the run.
+    pub violations: Vec<Violation>,
+    /// Aggregate statistics of the run.
+    pub stats: SimStats,
+}
+
+impl SimOutcome {
+    /// Pulse times recorded by the named probe (empty if unknown).
+    pub fn pulses(&self, name: &str) -> &[Ps] {
+        self.traces.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// The event-driven simulator over one [`Netlist`].
 ///
 /// See the [crate-level example](crate) for typical usage.
@@ -134,8 +190,9 @@ pub struct Simulator<'a> {
     netlist: &'a Netlist,
     library: &'a CellLibrary,
     states: Vec<CellState>,
-    /// Most recent pulse-arrival time per (cell, input port).
-    arrivals: Vec<Vec<(PortName, Ps)>>,
+    /// Most recent pulse-arrival time per cell, indexed by
+    /// [`PortName::index`]; `NEG_INFINITY` = no pulse yet.
+    arrivals: Vec<[Ps; PortName::COUNT]>,
     queue: BinaryHeap<Event>,
     seq: u64,
     traces: BTreeMap<String, Vec<Ps>>,
@@ -144,10 +201,12 @@ pub struct Simulator<'a> {
     stats: SimStats,
     event_limit: u64,
     faults: HashMap<CellId, Fault>,
-    /// Gaussian timing jitter on every cell delay (fabrication spread),
-    /// as `(rng, sigma_ps)`. None = nominal timing.
-    jitter: Option<(StdRng, Ps)>,
+    /// Fabrication-spread timing jitter. None = nominal timing.
+    jitter: Option<Jitter>,
 }
+
+/// The dense arrival table of a cell with no pulses delivered yet.
+const NO_ARRIVALS: [Ps; PortName::COUNT] = [Ps::NEG_INFINITY; PortName::COUNT];
 
 impl<'a> Simulator<'a> {
     /// Creates a simulator for `netlist` with cell delays and constraints
@@ -167,7 +226,7 @@ impl<'a> Simulator<'a> {
             netlist,
             library,
             states,
-            arrivals: vec![Vec::new(); netlist.cell_count()],
+            arrivals: vec![NO_ARRIVALS; netlist.cell_count()],
             queue: BinaryHeap::new(),
             seq: 0,
             traces,
@@ -190,8 +249,17 @@ impl<'a> Simulator<'a> {
     /// Panics if `sigma_ps` is negative.
     pub fn with_jitter(mut self, seed: u64, sigma_ps: Ps) -> Self {
         assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
-        self.jitter = Some((StdRng::seed_from_u64(seed), sigma_ps));
+        self.jitter = Some(Jitter::new(seed, sigma_ps));
         self
+    }
+
+    /// Restarts the jitter stream from `seed`, keeping the configured
+    /// sigma. No-op when jitter was never enabled. The batch layer uses
+    /// this to give every batch item its own reproducible stream.
+    pub fn reseed_jitter(&mut self, seed: u64) {
+        if let Some(j) = &mut self.jitter {
+            *j = Jitter::new(seed, j.sigma_ps);
+        }
     }
 
     /// Injects a fabrication defect into `cell` (builder style). Faulty
@@ -264,42 +332,35 @@ impl<'a> Simulator<'a> {
             self.stats.events_delivered += 1;
             return;
         }
-        let inst = self.netlist.cell(cell_id);
-        let kind = inst.kind;
+        let kind = self.netlist.cell(cell_id).kind;
         self.stats.events_delivered += 1;
         self.stats.final_time_ps = self.stats.final_time_ps.max(ev.time);
         *self.stats.switch_events.entry(kind).or_insert(0) += 1;
 
-        // Timing-constraint check against the most recent arrival per port.
+        // Timing-constraint check against the dense per-port arrival table:
+        // only rules keyed to the arriving port are inspected, and the
+        // breaking arrival time falls out of the same lookup.
         let constraints = self.library.constraints(kind);
         let arr = &mut self.arrivals[cell_id.index()];
-        for rule in constraints.check(ev.target.port, ev.time, arr.iter().copied()) {
-            self.violations.push(Violation {
+        let violations = &mut self.violations;
+        constraints.check_dense(ev.target.port, ev.time, arr, |rule, prev_time| {
+            violations.push(Violation {
                 cell: cell_id,
-                label: inst.label.clone(),
                 kind,
                 time: ev.time,
                 detail: ViolationDetail::Timing {
                     rule: *rule,
-                    prev_time: arr
-                        .iter()
-                        .find(|(p, _)| *p == rule.first)
-                        .map(|(_, t)| *t)
-                        .unwrap_or(Ps::NEG_INFINITY),
+                    prev_time,
                 },
             });
-        }
-        match arr.iter_mut().find(|(p, _)| *p == ev.target.port) {
-            Some(slot) => slot.1 = ev.time,
-            None => arr.push((ev.target.port, ev.time)),
-        }
+        });
+        arr[ev.target.port.index()] = ev.time;
 
         // Behavioural update.
         let response = self.states[cell_id.index()].on_pulse(kind, ev.target.port);
         if let Some(issue) = response.issue {
             self.violations.push(Violation {
                 cell: cell_id,
-                label: inst.label.clone(),
                 kind,
                 time: ev.time,
                 detail: ViolationDetail::Logical(issue),
@@ -309,12 +370,12 @@ impl<'a> Simulator<'a> {
             return;
         }
         let mut delay = self.library.params(kind).delay_ps;
-        if let Some((rng, sigma)) = &mut self.jitter {
+        if let Some(j) = &mut self.jitter {
             // Box-Muller; delays cannot go below a quarter of nominal.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen();
+            let u1: f64 = j.rng.gen_range(1e-12..1.0);
+            let u2: f64 = j.rng.gen();
             let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            delay = (delay + *sigma * gauss).max(delay / 4.0);
+            delay = (delay + j.sigma_ps * gauss).max(delay / 4.0);
         }
         for out_port in response.emitted() {
             self.stats.pulses_emitted += 1;
@@ -349,8 +410,7 @@ impl<'a> Simulator<'a> {
     /// Panics if `name` is not a registered probe; use
     /// [`Simulator::try_pulses`] for a fallible lookup.
     pub fn pulses(&self, name: &str) -> &[Ps] {
-        self.try_pulses(name)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.try_pulses(name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Pulse times recorded by the named probe.
@@ -375,6 +435,33 @@ impl<'a> Simulator<'a> {
         &self.violations
     }
 
+    /// Human-readable reports for every violation, with instance labels
+    /// resolved from the netlist.
+    pub fn violation_reports(&self) -> Vec<String> {
+        self.violations
+            .iter()
+            .map(|v| v.describe(self.netlist))
+            .collect()
+    }
+
+    /// Moves the run's traces, violations and stats out of the simulator,
+    /// leaving it cleared as far as results are concerned (probe names are
+    /// retained, their traces start empty). Dynamic cell/queue state is
+    /// untouched; callers reusing the simulator should [`Simulator::reset`]
+    /// before the next run.
+    pub fn take_outcome(&mut self) -> SimOutcome {
+        let traces = self
+            .traces
+            .iter_mut()
+            .map(|(name, t)| (name.clone(), std::mem::take(t)))
+            .collect();
+        SimOutcome {
+            traces,
+            violations: std::mem::take(&mut self.violations),
+            stats: std::mem::take(&mut self.stats),
+        }
+    }
+
     /// Aggregate statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
@@ -391,23 +478,33 @@ impl<'a> Simulator<'a> {
         self.queue.is_empty()
     }
 
-    /// Clears all dynamic state (cell states, traces, violations, queue),
-    /// keeping the netlist and library, so the same design can be re-run.
+    /// Clears all dynamic state (cell states, traces, violations, queue,
+    /// event sequence numbers, jitter stream), keeping the netlist and
+    /// library, so the same design can be re-run. A reset simulator given
+    /// the same stimulus reproduces a fresh simulator's results bitwise.
     pub fn reset(&mut self) {
         self.states = self
             .netlist
             .cells()
             .map(|(_, c)| CellState::initial(c.kind))
             .collect();
-        for v in self.arrivals.iter_mut() {
-            v.clear();
+        for a in self.arrivals.iter_mut() {
+            *a = NO_ARRIVALS;
         }
         self.queue.clear();
+        // Restart the deterministic tie-break counter; leaving it mid-count
+        // would order equal-time events differently on the re-run.
+        self.seq = 0;
         for t in self.traces.values_mut() {
             t.clear();
         }
         self.violations.clear();
         self.stats = SimStats::default();
+        // Rewind the jitter stream; leaving the RNG mid-stream would give
+        // the re-run different delays than the first run.
+        if let Some(j) = &mut self.jitter {
+            *j = Jitter::new(j.seed, j.sigma_ps);
+        }
     }
 }
 
@@ -439,7 +536,8 @@ mod tests {
         let mut sim = Simulator::new(&n, &l);
         sim.inject("in", &[100.0]).unwrap();
         sim.run_to_completion().unwrap();
-        let expected = 100.0 + l.params(CellKind::DcSfq).delay_ps + l.params(CellKind::Jtl).delay_ps;
+        let expected =
+            100.0 + l.params(CellKind::DcSfq).delay_ps + l.params(CellKind::Jtl).delay_ps;
         assert_eq!(sim.pulses("out"), &[expected]);
         assert!(sim.violations().is_empty());
     }
@@ -654,7 +752,10 @@ mod tests {
         sim.run_to_completion().unwrap();
         assert!(sim.pulses("out").is_empty());
         // State never advanced.
-        assert_eq!(*sim.cell_state(t), crate::state::CellState::Tff { state: false });
+        assert_eq!(
+            *sim.cell_state(t),
+            crate::state::CellState::Tff { state: false }
+        );
     }
 
     #[test]
@@ -664,8 +765,58 @@ mod tests {
         let mut sim = Simulator::new(&n, &l);
         sim.inject("in", &[100.0, 101.0]).unwrap();
         sim.run_to_completion().unwrap();
+        // Display identifies the cell by id/kind without touching the netlist.
         let msg = sim.violations()[0].to_string();
-        assert!(msg.contains("src") || msg.contains("j"), "{msg}");
+        assert!(msg.contains("c0"), "{msg}");
+        assert!(msg.contains("dcsfq"), "{msg}");
         assert!(msg.contains("violated"), "{msg}");
+        // Reports resolve the instance label from the netlist.
+        let reports = sim.violation_reports();
+        assert_eq!(reports.len(), sim.violations().len());
+        assert!(reports[0].contains("[src]"), "{}", reports[0]);
+    }
+
+    /// Satellite regression: `reset()` must rewind the event sequence
+    /// counter and the jitter RNG, so reset-then-rerun reproduces a fresh
+    /// simulator bitwise — the foundation of worker reuse in the batch
+    /// layer.
+    #[test]
+    fn reset_then_rerun_matches_fresh_run() {
+        // A splitter joined by a confluence buffer creates equal-time event
+        // pairs whose ordering depends on the seq tie-break counter.
+        let mut n = Netlist::new();
+        let s = n.add_cell(CellKind::Spl2, "s");
+        let c = n.add_cell(CellKind::Cb2, "c");
+        n.connect(s, DoutA, c, DinA).unwrap();
+        n.connect(s, DoutB, c, DinB).unwrap();
+        n.add_input("in", s, Din).unwrap();
+        n.probe("out", c, Dout).unwrap();
+        let l = lib();
+        let times: Vec<Ps> = (0..40).map(|i| 100.0 + 40.0 * i as Ps).collect();
+
+        let run_fresh = |jitter: Option<(u64, Ps)>| {
+            let mut sim = Simulator::new(&n, &l);
+            if let Some((seed, sigma)) = jitter {
+                sim = sim.with_jitter(seed, sigma);
+            }
+            sim.inject("in", &times).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.take_outcome()
+        };
+
+        for jitter in [None, Some((42, 3.0))] {
+            let fresh = run_fresh(jitter);
+            let mut sim = Simulator::new(&n, &l);
+            if let Some((seed, sigma)) = jitter {
+                sim = sim.with_jitter(seed, sigma);
+            }
+            // Dirty the simulator with a different run, then reset.
+            sim.inject("in", &[100.0, 101.0, 102.0]).unwrap();
+            sim.run_to_completion().unwrap();
+            sim.reset();
+            sim.inject("in", &times).unwrap();
+            sim.run_to_completion().unwrap();
+            assert_eq!(sim.take_outcome(), fresh, "jitter={jitter:?}");
+        }
     }
 }

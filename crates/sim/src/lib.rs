@@ -34,6 +34,7 @@
 //! assert!(sim.violations().is_empty());
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod event;
 pub mod netlist;
@@ -42,7 +43,8 @@ pub mod stimulus;
 pub mod vcd;
 pub mod waveform;
 
-pub use engine::{Fault, SimError, SimStats, Simulator, Violation};
+pub use batch::BatchRunner;
+pub use engine::{Fault, SimError, SimOutcome, SimStats, Simulator, Violation};
 pub use netlist::{CellId, Netlist, NetlistError, PortRef};
 pub use stimulus::{Stimulus, StimulusBuilder};
 pub use waveform::{levels_from_pulses, render_pulse_rows, LevelTrace, PulseTrain};

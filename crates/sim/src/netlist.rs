@@ -53,7 +53,11 @@ impl fmt::Display for PortRef {
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetlistError {
     /// The referenced port does not exist on the cell kind.
-    NoSuchPort { cell: CellId, kind: CellKind, port: PortName },
+    NoSuchPort {
+        cell: CellId,
+        kind: CellKind,
+        port: PortName,
+    },
     /// A source port must be an output and a destination an input.
     WrongDirection { at: PortRef, expected: PortDir },
     /// The output port already drives another input (RSFQ fan-out is 1).
@@ -78,10 +82,16 @@ impl fmt::Display for NetlistError {
                 write!(f, "port {at} is not an {expected:?} port")
             }
             NetlistError::OutputAlreadyDriven { from, existing } => {
-                write!(f, "output {from} already drives {existing} (fan-out is 1; use a splitter)")
+                write!(
+                    f,
+                    "output {from} already drives {existing} (fan-out is 1; use a splitter)"
+                )
             }
             NetlistError::InputAlreadyDriven { to, existing } => {
-                write!(f, "input {to} already driven by {existing} (use a confluence buffer)")
+                write!(
+                    f,
+                    "input {to} already driven by {existing} (use a confluence buffer)"
+                )
             }
             NetlistError::DuplicateName(n) => write!(f, "name {n:?} registered twice"),
             NetlistError::NegativeDelay(d) => write!(f, "negative wire delay {d} ps"),
@@ -146,7 +156,10 @@ impl Netlist {
     /// Adds a cell instance and returns its id.
     pub fn add_cell(&mut self, kind: CellKind, label: impl Into<String>) -> CellId {
         let id = CellId(u32::try_from(self.cells.len()).expect("netlist too large"));
-        self.cells.push(CellInst { kind, label: label.into() });
+        self.cells.push(CellInst {
+            kind,
+            label: label.into(),
+        });
         id
     }
 
@@ -186,12 +199,24 @@ impl Netlist {
         let from_ref = self.checked_port(from, out_port, PortDir::Output)?;
         let to_ref = self.checked_port(to, in_port, PortDir::Input)?;
         if let Some(w) = self.wires.get(&from_ref) {
-            return Err(NetlistError::OutputAlreadyDriven { from: from_ref, existing: w.to });
+            return Err(NetlistError::OutputAlreadyDriven {
+                from: from_ref,
+                existing: w.to,
+            });
         }
         if let Some(&existing) = self.drivers.get(&to_ref) {
-            return Err(NetlistError::InputAlreadyDriven { to: to_ref, existing });
+            return Err(NetlistError::InputAlreadyDriven {
+                to: to_ref,
+                existing,
+            });
         }
-        self.wires.insert(from_ref, Wire { to: to_ref, delay_ps });
+        self.wires.insert(
+            from_ref,
+            Wire {
+                to: to_ref,
+                delay_ps,
+            },
+        );
         self.drivers.insert(to_ref, from_ref);
         Ok(())
     }
@@ -211,7 +236,10 @@ impl Netlist {
         let name = name.into();
         let port_ref = self.checked_port(cell, port, PortDir::Input)?;
         if let Some(&existing) = self.drivers.get(&port_ref) {
-            return Err(NetlistError::InputAlreadyDriven { to: port_ref, existing });
+            return Err(NetlistError::InputAlreadyDriven {
+                to: port_ref,
+                existing,
+            });
         }
         if self.inputs.contains_key(&name) {
             return Err(NetlistError::DuplicateName(name));
@@ -252,10 +280,15 @@ impl Netlist {
             .get(cell.index())
             .ok_or(NetlistError::UnknownCell(cell))?;
         match inst.kind.port_dir(port) {
-            None => Err(NetlistError::NoSuchPort { cell, kind: inst.kind, port }),
-            Some(d) if d != expected => {
-                Err(NetlistError::WrongDirection { at: PortRef::new(cell, port), expected })
-            }
+            None => Err(NetlistError::NoSuchPort {
+                cell,
+                kind: inst.kind,
+                port,
+            }),
+            Some(d) if d != expected => Err(NetlistError::WrongDirection {
+                at: PortRef::new(cell, port),
+                expected,
+            }),
             Some(_) => Ok(PortRef::new(cell, port)),
         }
     }
@@ -450,7 +483,9 @@ mod tests {
     fn unknown_cell_rejected() {
         let (mut n, a, _) = two_jtl();
         let ghost = CellId(99);
-        let err = n.connect(a, PortName::Dout, ghost, PortName::Din).unwrap_err();
+        let err = n
+            .connect(a, PortName::Dout, ghost, PortName::Din)
+            .unwrap_err();
         assert_eq!(err, NetlistError::UnknownCell(ghost));
     }
 

@@ -161,23 +161,38 @@ pub struct PulseResponse {
 
 impl PulseResponse {
     fn none() -> Self {
-        Self { emits: [None; 3], issue: None }
+        Self {
+            emits: [None; 3],
+            issue: None,
+        }
     }
 
     fn warn(issue: LogicalIssue) -> Self {
-        Self { emits: [None; 3], issue: Some(issue) }
+        Self {
+            emits: [None; 3],
+            issue: Some(issue),
+        }
     }
 
     fn emit1(a: PortName) -> Self {
-        Self { emits: [Some(a), None, None], issue: None }
+        Self {
+            emits: [Some(a), None, None],
+            issue: None,
+        }
     }
 
     fn emit2(a: PortName, b: PortName) -> Self {
-        Self { emits: [Some(a), Some(b), None], issue: None }
+        Self {
+            emits: [Some(a), Some(b), None],
+            issue: None,
+        }
     }
 
     fn emit3(a: PortName, b: PortName, c: PortName) -> Self {
-        Self { emits: [Some(a), Some(b), Some(c)], issue: None }
+        Self {
+            emits: [Some(a), Some(b), Some(c)],
+            issue: None,
+        }
     }
 
     /// The ports this response emits on.
@@ -211,7 +226,10 @@ mod tests {
         let mut s = CellState::initial(CellKind::Spl2);
         assert_eq!(pulse(CellKind::Spl2, &mut s, Din), vec![DoutA, DoutB]);
         let mut s = CellState::initial(CellKind::Spl3);
-        assert_eq!(pulse(CellKind::Spl3, &mut s, Din), vec![DoutA, DoutB, DoutC]);
+        assert_eq!(
+            pulse(CellKind::Spl3, &mut s, Din),
+            vec![DoutA, DoutB, DoutC]
+        );
     }
 
     #[test]

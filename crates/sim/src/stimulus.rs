@@ -83,7 +83,9 @@ impl Stimulus {
 
     /// Iterates over `(channel, pulses)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Ps])> {
-        self.channels.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.channels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Total pulses across all channels.
@@ -130,7 +132,10 @@ impl StimulusBuilder {
 
     /// A builder enforcing a custom per-channel minimum interval.
     pub fn with_min_interval(min_interval: Ps) -> Self {
-        Self { stim: Stimulus::default(), min_interval }
+        Self {
+            stim: Stimulus::default(),
+            min_interval,
+        }
     }
 
     /// Appends one pulse to `channel` at time `t`.
@@ -143,7 +148,11 @@ impl StimulusBuilder {
         let train = self.stim.channels.entry(channel.to_owned()).or_default();
         if let Some(&prev) = train.last() {
             if t < prev {
-                return Err(StimulusError::NotMonotonic { channel: channel.to_owned(), prev, at: t });
+                return Err(StimulusError::NotMonotonic {
+                    channel: channel.to_owned(),
+                    prev,
+                    at: t,
+                });
             }
             if t - prev < self.min_interval {
                 return Err(StimulusError::IntervalTooShort {

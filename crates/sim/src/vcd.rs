@@ -34,7 +34,10 @@ pub struct VcdBuilder {
 impl VcdBuilder {
     /// A builder for a VCD with the given module scope name.
     pub fn new(module: impl Into<String>) -> Self {
-        Self { module: module.into(), signals: BTreeMap::new() }
+        Self {
+            module: module.into(),
+            signals: BTreeMap::new(),
+        }
     }
 
     /// Adds one signal's pulse times (builder style).
@@ -106,8 +109,8 @@ fn id_char(i: usize) -> char {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sushi_cells::{CellKind, CellLibrary, PortName};
     use crate::Netlist;
+    use sushi_cells::{CellKind, CellLibrary, PortName};
 
     #[test]
     fn header_and_vars_present() {

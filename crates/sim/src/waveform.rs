@@ -51,7 +51,10 @@ impl PulseTrain {
 
     /// Number of pulses in `[start, end)`.
     pub fn count_in_window(&self, start: Ps, end: Ps) -> usize {
-        self.times.iter().filter(|&&t| t >= start && t < end).count()
+        self.times
+            .iter()
+            .filter(|&&t| t >= start && t < end)
+            .count()
     }
 
     /// Mean pulse rate in GHz over `[start, end)` (pulses / ps * 1000).
@@ -156,7 +159,10 @@ pub fn levels_from_pulses(pulses: &[Ps], initial: bool) -> LevelTrace {
         level = !level;
         transitions.push((t, level));
     }
-    LevelTrace { initial, transitions }
+    LevelTrace {
+        initial,
+        transitions,
+    }
 }
 
 /// Renders named pulse trains as ASCII rows over `[t0, t1)` using `cols`

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
-use sushi_sim::{levels_from_pulses, Netlist, PulseTrain, Simulator};
+use sushi_sim::{levels_from_pulses, BatchRunner, Netlist, PulseTrain, Simulator, StimulusBuilder};
 
 /// Strategy: a monotonically increasing pulse train with safe spacing.
 fn safe_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
@@ -104,5 +104,53 @@ proptest! {
         prop_assert!(ta.matches(&ta, 0.0));
         prop_assert_eq!(ta.matches(&tb, 1.0), tb.matches(&ta, 1.0));
         prop_assert!(ta.matches(&tb, 1.0));
+    }
+
+    /// The batch layer is deterministic: for random small netlists and
+    /// stimulus batches, 1/2/4 workers all reproduce the sequential
+    /// outcomes bitwise — with and without jitter.
+    #[test]
+    fn batch_runner_matches_sequential_for_any_worker_count(
+        trains in prop::collection::vec(safe_train(12), 1..8),
+        depth in 1usize..4,
+        stateful: bool,
+        jittered: bool,
+    ) {
+        // in -> dcsfq -> (jtl | tffl)^depth -> probe: random depth, with a
+        // stateful variant so worker reuse must also reset cell state.
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        n.add_input("in", src, PortName::Din).unwrap();
+        let mut prev = (src, PortName::Dout);
+        for i in 0..depth {
+            let kind = if stateful { CellKind::Tffl } else { CellKind::Jtl };
+            let c = n.add_cell(kind, format!("c{i}"));
+            n.connect(prev.0, prev.1, c, PortName::Din).unwrap();
+            prev = (c, PortName::Dout);
+        }
+        n.probe("out", prev.0, prev.1).unwrap();
+        let lib = CellLibrary::nb03();
+
+        let items: Vec<_> = trains
+            .iter()
+            .map(|train| {
+                let mut b = StimulusBuilder::new();
+                for &t in train {
+                    b = b.pulse("in", t).unwrap();
+                }
+                b.build()
+            })
+            .collect();
+
+        let mut runner = BatchRunner::new(&n, &lib);
+        if jittered {
+            runner = runner.with_jitter(0xBA7C4, 1.5);
+        }
+        let reference = runner.run_sequential(&items).unwrap();
+        prop_assert_eq!(reference.len(), items.len());
+        for workers in [1usize, 2, 4] {
+            let got = runner.clone().with_workers(workers).run(&items).unwrap();
+            prop_assert_eq!(&got, &reference, "workers={}", workers);
+        }
     }
 }

@@ -50,11 +50,16 @@ impl Conv2d {
     ///
     /// Panics if any dimension is zero.
     pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, seed: u64) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0, "zero conv dimension");
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0,
+            "zero conv dimension"
+        );
         let fan_in = in_ch * kernel * kernel;
         let bound = (6.0 / fan_in as f32).sqrt();
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..fan_in * out_ch).map(|_| rng.gen_range(-bound..bound)).collect();
+        let data = (0..fan_in * out_ch)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Self {
             in_ch,
             out_ch,
@@ -69,10 +74,26 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics on a shape mismatch.
-    pub fn from_weights(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, weights: Matrix) -> Self {
-        assert_eq!(weights.rows(), in_ch * kernel * kernel, "kernel shape mismatch");
+    pub fn from_weights(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        weights: Matrix,
+    ) -> Self {
+        assert_eq!(
+            weights.rows(),
+            in_ch * kernel * kernel,
+            "kernel shape mismatch"
+        );
         assert_eq!(weights.cols(), out_ch, "output channel mismatch");
-        Self { in_ch, out_ch, kernel, stride, weights }
+        Self {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            weights,
+        }
     }
 
     /// Output spatial size for an `h x w` input.
@@ -81,8 +102,14 @@ impl Conv2d {
     ///
     /// Panics if the kernel does not fit.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.kernel && w >= self.kernel, "kernel larger than input");
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "kernel larger than input"
+        );
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 
     /// Output width in flattened activations.
@@ -138,7 +165,7 @@ impl Conv2d {
         let (oh, ow) = self.out_size(h, w);
         let col = self.im2col(input, h, w);
         let out = col.matmul(&self.weights); // (batch*oh*ow) x out_ch
-        // Transpose the per-position channel layout into channel-major rows.
+                                             // Transpose the per-position channel layout into channel-major rows.
         let mut res = Matrix::zeros(input.rows(), self.out_ch * oh * ow);
         for b in 0..input.rows() {
             for oy in 0..oh {
@@ -158,7 +185,11 @@ impl Conv2d {
     /// input, returns `(g_weights, g_input)`.
     pub fn backward(&self, input: &Matrix, h: usize, w: usize, g_out: &Matrix) -> (Matrix, Matrix) {
         let (oh, ow) = self.out_size(h, w);
-        assert_eq!(g_out.cols(), self.out_ch * oh * ow, "gradient width mismatch");
+        assert_eq!(
+            g_out.cols(),
+            self.out_ch * oh * ow,
+            "gradient width mismatch"
+        );
         // Back to (batch*oh*ow) x out_ch layout.
         let mut g_pos = Matrix::zeros(input.rows() * oh * ow, self.out_ch);
         for b in 0..input.rows() {
@@ -270,7 +301,10 @@ impl AvgPool2d {
     /// Panics on indivisible dimensions or width mismatch.
     pub fn forward(&self, input: &Matrix, ch: usize, h: usize, w: usize) -> Matrix {
         assert_eq!(input.cols(), ch * h * w, "input width mismatch");
-        assert!(h % self.size == 0 && w % self.size == 0, "pool must divide the map");
+        assert!(
+            h.is_multiple_of(self.size) && w.is_multiple_of(self.size),
+            "pool must divide the map"
+        );
         let (oh, ow) = (h / self.size, w / self.size);
         let mut out = Matrix::zeros(input.rows(), ch * oh * ow);
         let norm = 1.0 / (self.size * self.size) as f32;
@@ -302,7 +336,11 @@ mod tests {
     use super::*;
 
     fn ramp_input(batch: usize, n: usize) -> Matrix {
-        Matrix::from_vec(batch, n, (0..batch * n).map(|i| (i % 7) as f32 - 3.0).collect())
+        Matrix::from_vec(
+            batch,
+            n,
+            (0..batch * n).map(|i| (i % 7) as f32 - 3.0).collect(),
+        )
     }
 
     #[test]
@@ -335,9 +373,11 @@ mod tests {
 
     #[test]
     fn unrolled_dense_is_exactly_equivalent() {
-        for (in_ch, out_ch, k, stride, h, w) in
-            [(1usize, 2usize, 3usize, 1usize, 6usize, 6usize), (2, 3, 2, 2, 6, 4), (3, 1, 3, 1, 5, 5)]
-        {
+        for (in_ch, out_ch, k, stride, h, w) in [
+            (1usize, 2usize, 3usize, 1usize, 6usize, 6usize),
+            (2, 3, 2, 2, 6, 4),
+            (3, 1, 3, 1, 5, 5),
+        ] {
             let conv = Conv2d::new(in_ch, out_ch, k, stride, 42);
             let x = ramp_input(3, in_ch * h * w);
             let direct = conv.forward(&x, h, w);
@@ -368,7 +408,11 @@ mod tests {
             let down: f32 = conv.forward(&x, h, w).sum();
             conv.weights_mut()[(idx, 0)] = orig;
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - g_w[(idx, 0)]).abs() < 0.05, "idx {idx}: fd {fd} vs {}", g_w[(idx, 0)]);
+            assert!(
+                (fd - g_w[(idx, 0)]).abs() < 0.05,
+                "idx {idx}: fd {fd} vs {}",
+                g_w[(idx, 0)]
+            );
         }
     }
 

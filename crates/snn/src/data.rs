@@ -103,7 +103,9 @@ struct Canvas {
 
 impl Canvas {
     fn new() -> Self {
-        Self { px: vec![0.0; IMAGE_SIDE * IMAGE_SIDE] }
+        Self {
+            px: vec![0.0; IMAGE_SIDE * IMAGE_SIDE],
+        }
     }
 
     fn set(&mut self, x: i32, y: i32, v: f32) {
@@ -124,7 +126,11 @@ impl Canvas {
     fn finish(mut self, rng: &mut StdRng, flip_p: f64, jitter: f32) -> Vec<f32> {
         for p in &mut self.px {
             if rng.gen_bool(flip_p) {
-                *p = if *p > 0.5 { 0.0 } else { rng.gen_range(0.5..1.0) };
+                *p = if *p > 0.5 {
+                    0.0
+                } else {
+                    rng.gen_range(0.5..1.0)
+                };
             } else if *p > 0.0 {
                 *p = (*p + rng.gen_range(-jitter..jitter)).clamp(0.0, 1.0);
             }
@@ -135,16 +141,16 @@ impl Canvas {
 
 /// Seven-segment membership per digit: (a, b, c, d, e, f, g).
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, true, true, true, false],    // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],   // 2
-    [true, true, true, true, false, false, true],   // 3
-    [false, true, true, false, false, true, true],  // 4
-    [true, false, true, true, false, true, true],   // 5
-    [true, false, true, true, true, true, true],    // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 fn draw_digit(c: &mut Canvas, digit: usize, ox: i32, oy: i32, v: f32) {
@@ -188,7 +194,11 @@ pub fn synth_digits(n: usize, seed: u64) -> Dataset {
         images.push(c.finish(&mut rng, 0.015, 0.15));
         labels.push(digit as u8);
     }
-    Dataset { name: "SynthDigits".to_owned(), images, labels }
+    Dataset {
+        name: "SynthDigits".to_owned(),
+        images,
+        labels,
+    }
 }
 
 fn draw_fashion(c: &mut Canvas, class: usize, dx: i32, dy: i32, v: f32, rng: &mut StdRng) {
@@ -272,7 +282,7 @@ fn draw_fashion(c: &mut Canvas, class: usize, dx: i32, dy: i32, v: f32, rng: &mu
         for _ in 0..6 {
             let x = rng.gen_range(9..19);
             let y = rng.gen_range(9..22);
-            c.set(x + dx, y + dy, (v - rng.gen_range(0.2..0.5)).max(0.05));
+            c.set(x + dx, y + dy, (v - rng.gen_range(0.2f32..0.5)).max(0.05));
         }
     }
 }
@@ -293,7 +303,11 @@ pub fn synth_fashion(n: usize, seed: u64) -> Dataset {
         images.push(c.finish(&mut rng, 0.09, 0.35));
         labels.push(class as u8);
     }
-    Dataset { name: "SynthFashion".to_owned(), images, labels }
+    Dataset {
+        name: "SynthFashion".to_owned(),
+        images,
+        labels,
+    }
 }
 
 #[cfg(test)]

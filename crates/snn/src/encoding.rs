@@ -40,7 +40,8 @@ impl PoissonEncoder {
     /// spike frames of shape `1 x pixels.len()`. `sample_id` diversifies
     /// the stream across samples while keeping it reproducible.
     pub fn encode(&self, pixels: &[f32], time_steps: usize, sample_id: u64) -> Vec<Matrix> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ sample_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ sample_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         (0..time_steps)
             .map(|_| {
                 let data = pixels

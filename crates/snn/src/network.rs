@@ -54,7 +54,11 @@ pub fn xnor_effective(w: &Matrix) -> Matrix {
     let mut out = Matrix::zeros(rows, cols);
     for i in 0..rows {
         for j in 0..cols {
-            out[(i, j)] = if w[(i, j)] >= 0.0 { alphas[j] } else { -alphas[j] };
+            out[(i, j)] = if w[(i, j)] >= 0.0 {
+                alphas[j]
+            } else {
+                -alphas[j]
+            };
         }
     }
     out
@@ -96,7 +100,12 @@ impl SnnMlp {
                 Matrix::from_vec(fan_in, fan_out, data)
             })
             .collect();
-        Self { weights, neuron: IfNeuron::paper_default(), binary: false, stateless: false }
+        Self {
+            weights,
+            neuron: IfNeuron::paper_default(),
+            binary: false,
+            stateless: false,
+        }
     }
 
     /// Switches the forward pass between latent-float and XNOR-binary
@@ -144,7 +153,12 @@ impl SnnMlp {
         for w in weights.windows(2) {
             assert_eq!(w[0].cols(), w[1].rows(), "layer shapes do not chain");
         }
-        Self { weights, neuron, binary: false, stateless: false }
+        Self {
+            weights,
+            neuron,
+            binary: false,
+            stateless: false,
+        }
     }
 
     /// Layer sizes (input first).
@@ -188,7 +202,11 @@ impl SnnMlp {
     pub fn forward_record(&self, frames: &[Matrix]) -> ForwardRecord {
         assert!(!frames.is_empty(), "need at least one time step");
         let batch = frames[0].rows();
-        assert_eq!(frames[0].cols(), self.weights[0].rows(), "input width mismatch");
+        assert_eq!(
+            frames[0].cols(),
+            self.weights[0].rows(),
+            "input width mismatch"
+        );
         let num_layers = self.weights.len();
         let t_steps = frames.len();
         let mut inputs: Vec<Vec<Matrix>> = vec![Vec::with_capacity(t_steps); num_layers];
@@ -222,7 +240,12 @@ impl SnnMlp {
             }
         }
         rates.scale(1.0 / t_steps as f32);
-        ForwardRecord { inputs, pre_acts, spikes, rates }
+        ForwardRecord {
+            inputs,
+            pre_acts,
+            spikes,
+            rates,
+        }
     }
 
     /// Computes the MSE loss against one-hot `targets` and the weight
@@ -279,7 +302,12 @@ impl SnnMlp {
             let mut g_prev: Vec<Matrix> = Vec::new();
             if l > 0 {
                 g_prev = (0..steps)
-                    .map(|t| Matrix::zeros(record.spikes[l - 1][t].rows(), record.spikes[l - 1][t].cols()))
+                    .map(|t| {
+                        Matrix::zeros(
+                            record.spikes[l - 1][t].rows(),
+                            record.spikes[l - 1][t].cols(),
+                        )
+                    })
                     .collect();
             }
             let mut g_v: Option<Matrix> = None;
@@ -376,7 +404,9 @@ mod tests {
         assert_eq!(grads.len(), 2);
         assert_eq!((grads[0].rows(), grads[0].cols()), (6, 9));
         assert_eq!((grads[1].rows(), grads[1].cols()), (9, 3));
-        assert!(grads.iter().all(|g| g.as_slice().iter().all(|v| v.is_finite())));
+        assert!(grads
+            .iter()
+            .all(|g| g.as_slice().iter().all(|v| v.is_finite())));
     }
 
     /// Finite-difference check of the output-layer gradient through the

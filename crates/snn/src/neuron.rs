@@ -40,7 +40,10 @@ impl IfNeuron {
     ///
     /// Panics if `threshold <= reset`.
     pub fn new(threshold: f32, reset: f32) -> Self {
-        assert!(threshold > reset, "threshold must exceed the reset potential");
+        assert!(
+            threshold > reset,
+            "threshold must exceed the reset potential"
+        );
         Self { threshold, reset }
     }
 
@@ -148,9 +151,16 @@ impl LifNeuron {
     ///
     /// Panics if `threshold <= reset` or `tau < 1`.
     pub fn new(threshold: f32, reset: f32, tau: f32) -> Self {
-        assert!(threshold > reset, "threshold must exceed the reset potential");
+        assert!(
+            threshold > reset,
+            "threshold must exceed the reset potential"
+        );
         assert!(tau >= 1.0, "tau must be at least 1");
-        Self { threshold, reset, tau }
+        Self {
+            threshold,
+            reset,
+            tau,
+        }
     }
 
     /// The firing threshold.
@@ -302,7 +312,10 @@ mod tests {
             lif_spikes += lif.step(&mut v_lif, &drive).sum();
         }
         assert!(if_spikes > 0.0);
-        assert_eq!(lif_spikes, 0.0, "leak must hold 0.3 drive below threshold 1 at tau 3");
+        assert_eq!(
+            lif_spikes, 0.0,
+            "leak must hold 0.3 drive below threshold 1 at tau 3"
+        );
     }
 
     #[test]

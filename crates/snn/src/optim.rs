@@ -35,7 +35,15 @@ impl Adam {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The paper's optimizer: Adam at lr 1e-3.
@@ -51,7 +59,10 @@ impl Adam {
     pub fn step(&mut self, weights: &mut [Matrix], grads: &[Matrix]) {
         assert_eq!(weights.len(), grads.len(), "weights/grads mismatch");
         if self.m.is_empty() {
-            self.m = weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+            self.m = weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect();
             self.v = self.m.clone();
         }
         assert_eq!(self.m.len(), weights.len(), "parameter count changed");
@@ -63,7 +74,11 @@ impl Adam {
             .zip(grads)
             .zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
-            assert_eq!((w.rows(), w.cols()), (g.rows(), g.cols()), "grad shape changed");
+            assert_eq!(
+                (w.rows(), w.cols()),
+                (g.rows(), g.cols()),
+                "grad shape changed"
+            );
             for ((wv, &gv), (mv, vv)) in w
                 .as_mut_slice()
                 .iter_mut()
@@ -125,7 +140,11 @@ mod tests {
             let g = vec![Matrix::from_rows(&[&[2.0 * (w[0].as_slice()[0] - 3.0)]])];
             opt.step(&mut w, &g);
         }
-        assert!((w[0].as_slice()[0] - 3.0).abs() < 0.05, "w = {}", w[0].as_slice()[0]);
+        assert!(
+            (w[0].as_slice()[0] - 3.0).abs() < 0.05,
+            "w = {}",
+            w[0].as_slice()[0]
+        );
     }
 
     #[test]

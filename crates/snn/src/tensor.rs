@@ -30,7 +30,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n x n` identity.
@@ -55,7 +59,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds from a flat row-major vector.
@@ -114,13 +122,26 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul {}x{} @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         let flops = self.rows * self.cols * other.cols;
         if flops < PARALLEL_FLOP_THRESHOLD || self.rows < 2 {
-            matmul_rows(&self.data, &other.data, &mut out.data, self.cols, other.cols, 0);
+            matmul_rows(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                self.cols,
+                other.cols,
+                0,
+            );
         } else {
-            let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+            let threads = std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8);
             let chunk_rows = self.rows.div_ceil(threads);
             let cols = self.cols;
             let ocols = other.cols;
@@ -145,7 +166,11 @@ impl Matrix {
     ///
     /// Panics on dimension mismatch.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t {}x{} @ ({}x{})^T", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a = self.row(i);
@@ -163,7 +188,11 @@ impl Matrix {
     ///
     /// Panics on dimension mismatch.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul ({}x{})^T @ {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a = self.row(k);
@@ -198,7 +227,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -226,11 +259,20 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
         }
     }
 
@@ -275,14 +317,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -81,7 +81,11 @@ impl TrainConfig {
 
     /// The tiny configuration in XNOR-Net mode (for chip-pipeline tests).
     pub fn tiny_binary() -> Self {
-        Self { binary_weights: true, stateless: true, ..Self::tiny() }
+        Self {
+            binary_weights: true,
+            stateless: true,
+            ..Self::tiny()
+        }
     }
 
     /// The full layer-size vector.
@@ -132,7 +136,10 @@ impl TrainedSnn {
     /// Evaluates accuracy on `data`.
     pub fn evaluate(&self, data: &Dataset) -> Evaluation {
         let predictions = self.predict_all(data);
-        Evaluation { accuracy: accuracy(&predictions, &data.labels), predictions }
+        Evaluation {
+            accuracy: accuracy(&predictions, &data.labels),
+            predictions,
+        }
     }
 }
 
@@ -165,7 +172,11 @@ impl Trainer {
     /// As [`Trainer::fit`].
     pub fn fit_with_history(&self, data: &Dataset) -> (TrainedSnn, Vec<f32>) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(data.images[0].len(), self.config.input, "input width mismatch");
+        assert_eq!(
+            data.images[0].len(),
+            self.config.input,
+            "input width mismatch"
+        );
         let cfg = &self.config;
         let mut mlp = SnnMlp::new(&cfg.layer_sizes(), cfg.seed)
             .with_binary_weights(cfg.binary_weights)
@@ -186,7 +197,7 @@ impl Trainer {
             let shuffled = data.shuffled(cfg.seed.wrapping_add(epoch as u64));
             for chunk_start in (0..shuffled.len()).step_by(cfg.batch) {
                 if mix_period > 0 {
-                    mlp = mlp.with_stateless(batch_idx % mix_period != 0);
+                    mlp = mlp.with_stateless(!batch_idx.is_multiple_of(mix_period));
                 }
                 batch_idx += 1;
                 let end = (chunk_start + cfg.batch).min(shuffled.len());
@@ -217,7 +228,13 @@ impl Trainer {
             }
             history.push(epoch_loss / batches.max(1) as f32);
         }
-        (TrainedSnn { mlp, config: self.config.clone() }, history)
+        (
+            TrainedSnn {
+                mlp,
+                config: self.config.clone(),
+            },
+            history,
+        )
     }
 }
 
@@ -272,7 +289,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_panics() {
-        let empty = Dataset { name: "x".into(), images: vec![], labels: vec![] };
+        let empty = Dataset {
+            name: "x".into(),
+            images: vec![],
+            labels: vec![],
+        };
         let _ = Trainer::new(TrainConfig::tiny()).fit(&empty);
     }
 }

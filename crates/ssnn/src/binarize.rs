@@ -59,7 +59,11 @@ impl BinaryLayer {
                     connected += 1;
                 }
             }
-            let alpha = if connected == 0 { 0.0 } else { abs_sum / connected as f64 };
+            let alpha = if connected == 0 {
+                0.0
+            } else {
+                abs_sum / connected as f64
+            };
             let t = if alpha <= 0.0 {
                 // Dead column: can never fire.
                 inputs as i64 + 1
@@ -68,7 +72,12 @@ impl BinaryLayer {
             };
             thresholds.push(t);
         }
-        Self { signs, inputs, outputs, thresholds }
+        Self {
+            signs,
+            inputs,
+            outputs,
+            thresholds,
+        }
     }
 
     /// Builds a layer from explicit signs and thresholds (for tests and
@@ -80,8 +89,16 @@ impl BinaryLayer {
     pub fn from_signs(signs: Vec<i8>, inputs: usize, outputs: usize, thresholds: Vec<i64>) -> Self {
         assert_eq!(signs.len(), inputs * outputs, "sign shape mismatch");
         assert_eq!(thresholds.len(), outputs, "threshold count mismatch");
-        assert!(signs.iter().all(|&s| (-1..=1).contains(&s)), "signs must be -1, 0 or 1");
-        Self { signs, inputs, outputs, thresholds }
+        assert!(
+            signs.iter().all(|&s| (-1..=1).contains(&s)),
+            "signs must be -1, 0 or 1"
+        );
+        Self {
+            signs,
+            inputs,
+            outputs,
+            thresholds,
+        }
     }
 
     /// Input width.
@@ -100,7 +117,10 @@ impl BinaryLayer {
     ///
     /// Panics if out of range.
     pub fn sign(&self, i: usize, j: usize) -> i8 {
-        assert!(i < self.inputs && j < self.outputs, "synapse ({i},{j}) out of range");
+        assert!(
+            i < self.inputs && j < self.outputs,
+            "synapse ({i},{j}) out of range"
+        );
         self.signs[i * self.outputs + j]
     }
 
@@ -111,7 +131,9 @@ impl BinaryLayer {
     /// Panics if `j` is out of range.
     pub fn column_signs(&self, j: usize) -> Vec<i8> {
         assert!(j < self.outputs, "neuron {j} out of range");
-        (0..self.inputs).map(|i| self.signs[i * self.outputs + j]).collect()
+        (0..self.inputs)
+            .map(|i| self.signs[i * self.outputs + j])
+            .collect()
     }
 
     /// Integer firing threshold of neuron `j`.

@@ -61,7 +61,10 @@ impl SliceSchedule {
         assert!(n > 0, "chip width must be positive");
         let mut slices = Vec::new();
         for (layer, &(inputs, outputs)) in shapes.iter().enumerate() {
-            assert!(inputs > 0 && outputs > 0, "layer {layer} has a zero dimension");
+            assert!(
+                inputs > 0 && outputs > 0,
+                "layer {layer} has a zero dimension"
+            );
             let row_blocks = inputs.div_ceil(n);
             for c0 in (0..outputs).step_by(n) {
                 let cols = c0..(c0 + n).min(outputs);
@@ -216,8 +219,12 @@ mod tests {
     #[test]
     fn sliced_step_equals_unsliced_reference() {
         // A 2-layer net that does not tile evenly.
-        let l1_signs: Vec<i8> = (0..9 * 5).map(|i| if (i * 13) % 3 == 0 { -1 } else { 1 }).collect();
-        let l2_signs: Vec<i8> = (0..5 * 3).map(|i| if (i * 7) % 4 == 0 { -1 } else { 1 }).collect();
+        let l1_signs: Vec<i8> = (0..9 * 5)
+            .map(|i| if (i * 13) % 3 == 0 { -1 } else { 1 })
+            .collect();
+        let l2_signs: Vec<i8> = (0..5 * 3)
+            .map(|i| if (i * 7) % 4 == 0 { -1 } else { 1 })
+            .collect();
         let net = BinarizedSnn::from_layers(vec![
             BinaryLayer::from_signs(l1_signs, 9, 5, vec![2, 1, 3, 2, 1]),
             BinaryLayer::from_signs(l2_signs, 5, 3, vec![1, 2, 1]),

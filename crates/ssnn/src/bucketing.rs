@@ -32,8 +32,16 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(inhibitory_first(&[1, -1, 1, -1]), vec![1, 3, 0, 2]);
 /// ```
 pub fn inhibitory_first(signs: &[i8]) -> Vec<usize> {
-    let inh = signs.iter().enumerate().filter(|(_, s)| **s < 0).map(|(i, _)| i);
-    let exc = signs.iter().enumerate().filter(|(_, s)| **s >= 0).map(|(i, _)| i);
+    let inh = signs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s < 0)
+        .map(|(i, _)| i);
+    let exc = signs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s >= 0)
+        .map(|(i, _)| i);
     inh.chain(exc).collect()
 }
 
@@ -48,8 +56,18 @@ pub fn inhibitory_first(signs: &[i8]) -> Vec<usize> {
 /// Panics if `buckets == 0`.
 pub fn bucketed_order(signs: &[i8], buckets: usize) -> Vec<usize> {
     assert!(buckets > 0, "need at least one bucket");
-    let inh: Vec<usize> = signs.iter().enumerate().filter(|(_, s)| **s < 0).map(|(i, _)| i).collect();
-    let exc: Vec<usize> = signs.iter().enumerate().filter(|(_, s)| **s >= 0).map(|(i, _)| i).collect();
+    let inh: Vec<usize> = signs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s < 0)
+        .map(|(i, _)| i)
+        .collect();
+    let exc: Vec<usize> = signs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s >= 0)
+        .map(|(i, _)| i)
+        .collect();
     let mut order = Vec::with_capacity(signs.len());
     for b in 0..buckets {
         let islice = chunk(&inh, b, buckets);
@@ -103,7 +121,12 @@ impl Excursion {
 /// # Panics
 ///
 /// Panics if lengths mismatch or `order` indexes out of range.
-pub fn analyze_excursion(signs: &[i8], order: &[usize], active: &[bool], threshold: i64) -> Excursion {
+pub fn analyze_excursion(
+    signs: &[i8],
+    order: &[usize],
+    active: &[bool],
+    threshold: i64,
+) -> Excursion {
     assert_eq!(signs.len(), active.len(), "signs/active mismatch");
     let mut v = 0i64;
     let (mut min, mut max) = (0i64, 0i64);
@@ -120,7 +143,12 @@ pub fn analyze_excursion(signs: &[i8], order: &[usize], active: &[bool], thresho
             crossed = true;
         }
     }
-    Excursion { min, max, end: v, premature: crossed && v < threshold }
+    Excursion {
+        min,
+        max,
+        end: v,
+        premature: crossed && v < threshold,
+    }
 }
 
 /// Worst-case (all inputs active) excursion for a neuron under `order`.
@@ -176,7 +204,10 @@ mod tests {
         let deep = worst_case_excursion(&signs, &inhibitory_first(&signs), 10);
         assert_eq!(deep.min, -50);
         let shallow = worst_case_excursion(&signs, &bucketed_order(&signs, 10), 10);
-        assert!(shallow.min > deep.min, "bucketing should bound the dip: {shallow:?}");
+        assert!(
+            shallow.min > deep.min,
+            "bucketing should bound the dip: {shallow:?}"
+        );
         assert!(shallow.min <= 0);
         // Both end at the same final potential: ordering is sum-preserving.
         assert_eq!(deep.end, shallow.end);
@@ -187,7 +218,8 @@ mod tests {
         let signs: Vec<i8> = (0..400).map(|i| if i % 2 == 0 { -1 } else { 1 }).collect();
         let t = 20;
         let full = worst_case_excursion(&signs, &inhibitory_first(&signs), t).required_states(t);
-        let bucketed = worst_case_excursion(&signs, &bucketed_order(&signs, 20), t).required_states(t);
+        let bucketed =
+            worst_case_excursion(&signs, &bucketed_order(&signs, 20), t).required_states(t);
         assert!(bucketed < full, "bucketed {bucketed} >= full {full}");
     }
 
@@ -201,7 +233,12 @@ mod tests {
 
     #[test]
     fn required_states_includes_threshold_headroom() {
-        let e = Excursion { min: -3, max: 1, end: 1, premature: false };
+        let e = Excursion {
+            min: -3,
+            max: 1,
+            end: 1,
+            premature: false,
+        };
         // Needs to represent -3..=5 for threshold 5: 9 states.
         assert_eq!(e.required_states(5), 9);
         assert_eq!(e.required_offset(), 3);
@@ -212,7 +249,9 @@ mod tests {
         // An 800-input neuron with balanced random signs under 16-way
         // bucketing: the worst-case excursion must fit the NPE's 1024
         // states (the paper: "at least ~500 states is adequate").
-        let signs: Vec<i8> = (0..800).map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 }).collect();
+        let signs: Vec<i8> = (0..800)
+            .map(|i| if (i * 7) % 5 < 2 { -1 } else { 1 })
+            .collect();
         let t = 40;
         let order = bucketed_order(&signs, 16);
         let req = worst_case_excursion(&signs, &order, t).required_states(t);

@@ -25,7 +25,11 @@ pub struct CompilerConfig {
 impl CompilerConfig {
     /// The paper's evaluation chip: 16x16 mesh, 10-SC NPEs, 16 buckets.
     pub fn paper() -> Self {
-        Self { chip_n: 16, sc_per_npe: 10, buckets: 16 }
+        Self {
+            chip_n: 16,
+            sc_per_npe: 10,
+            buckets: 16,
+        }
     }
 
     /// Counter states per NPE.
@@ -63,7 +67,10 @@ impl Compiler {
     /// Panics on a zero-sized chip or counter.
     pub fn new(config: CompilerConfig) -> Self {
         assert!(config.chip_n > 0, "chip width must be positive");
-        assert!(config.sc_per_npe > 0 && config.sc_per_npe < 32, "counter bits in 1..=31");
+        assert!(
+            config.sc_per_npe > 0 && config.sc_per_npe < 32,
+            "counter bits in 1..=31"
+        );
         assert!(config.buckets > 0, "need at least one bucket");
         Self { config }
     }
@@ -158,7 +165,7 @@ mod tests {
         assert_eq!(program.net.layers()[0].inputs(), 784);
         assert_eq!(program.net.classes(), 10);
         assert_eq!(program.schedule.chip_width(), 16);
-        assert!(program.schedule.len() > 0);
+        assert!(!program.schedule.is_empty());
     }
 
     #[test]
@@ -211,6 +218,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "chip width")]
     fn zero_chip_panics() {
-        let _ = Compiler::new(CompilerConfig { chip_n: 0, sc_per_npe: 10, buckets: 16 });
+        let _ = Compiler::new(CompilerConfig {
+            chip_n: 0,
+            sc_per_npe: 10,
+            buckets: 16,
+        });
     }
 }

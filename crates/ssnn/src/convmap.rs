@@ -24,8 +24,18 @@ pub fn binarize_conv(conv: &Conv2d, h: usize, w: usize, theta: f32) -> BinaryLay
 
 /// The float reference for one spiking step of a conv layer: convolve the
 /// binary frame and threshold at `theta` (stateless semantics).
-pub fn conv_reference_step(conv: &Conv2d, frame: &[bool], h: usize, w: usize, theta: f32) -> Vec<bool> {
-    let input = Matrix::from_vec(1, frame.len(), frame.iter().map(|&b| f32::from(b)).collect());
+pub fn conv_reference_step(
+    conv: &Conv2d,
+    frame: &[bool],
+    h: usize,
+    w: usize,
+    theta: f32,
+) -> Vec<bool> {
+    let input = Matrix::from_vec(
+        1,
+        frame.len(),
+        frame.iter().map(|&b| f32::from(b)).collect(),
+    );
     let pre = conv.forward(&input, h, w);
     // XNOR scaling: the binarized layer fires iff the sign-sum reaches the
     // folded threshold; with uniform-magnitude kernels this equals the
@@ -62,17 +72,13 @@ pub fn conv_reference_step(conv: &Conv2d, frame: &[bool], h: usize, w: usize, th
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bitslice::SliceSchedule;
     use crate::binarize::BinarizedSnn;
+    use crate::bitslice::SliceSchedule;
 
     /// A kernel with uniform magnitudes binarizes losslessly.
     fn uniform_conv() -> Conv2d {
         // 3x3 edge-ish kernel with entries in {-0.5, 0, 0.5}.
-        let w = Matrix::from_vec(
-            9,
-            1,
-            vec![0.5, -0.5, 0.5, 0.0, 0.5, -0.5, 0.5, 0.0, -0.5],
-        );
+        let w = Matrix::from_vec(9, 1, vec![0.5, -0.5, 0.5, 0.0, 0.5, -0.5, 0.5, 0.0, -0.5]);
         Conv2d::from_weights(1, 1, 3, 1, w)
     }
 
@@ -95,7 +101,9 @@ mod tests {
         let (h, w) = (5usize, 5usize);
         let layer = binarize_conv(&conv, h, w, 1.0);
         for seed in 0..32u32 {
-            let frame: Vec<bool> = (0..25).map(|i| (seed.wrapping_mul(i as u32 + 7)) % 3 == 0).collect();
+            let frame: Vec<bool> = (0..25)
+                .map(|i| (seed.wrapping_mul(i as u32 + 7)) % 3 == 0)
+                .collect();
             let reference = conv_reference_step(&conv, &frame, h, w, 1.0);
             let acc = layer.accumulate(&frame);
             let chip: Vec<bool> = acc
@@ -114,8 +122,14 @@ mod tests {
         let net = BinarizedSnn::from_layers(vec![layer]);
         let sched = SliceSchedule::for_network(&net, 4);
         for seed in 0..16u32 {
-            let frame: Vec<bool> = (0..25).map(|i| (seed.wrapping_mul(i as u32 + 3)) % 4 == 0).collect();
-            assert_eq!(sched.sliced_step(&net, &frame), net.step(&frame), "seed {seed}");
+            let frame: Vec<bool> = (0..25)
+                .map(|i| (seed.wrapping_mul(i as u32 + 3)) % 4 == 0)
+                .collect();
+            assert_eq!(
+                sched.sliced_step(&net, &frame),
+                net.step(&frame),
+                "seed {seed}"
+            );
         }
     }
 

@@ -67,7 +67,13 @@ impl QuantizedLayer {
             }
             thresholds.push((f64::from(theta) / step).ceil().max(1.0) as i64);
         }
-        Self { levels, inputs, outputs, thresholds, max_gain }
+        Self {
+            levels,
+            inputs,
+            outputs,
+            thresholds,
+            max_gain,
+        }
     }
 
     /// Quantizes every layer of a trained model.
@@ -102,7 +108,10 @@ impl QuantizedLayer {
     ///
     /// Panics if out of range.
     pub fn level(&self, i: usize, j: usize) -> i16 {
-        assert!(i < self.inputs && j < self.outputs, "synapse ({i},{j}) out of range");
+        assert!(
+            i < self.inputs && j < self.outputs,
+            "synapse ({i},{j}) out of range"
+        );
         self.levels[i * self.outputs + j]
     }
 
@@ -113,7 +122,9 @@ impl QuantizedLayer {
 
     /// The signed strengths feeding neuron `j`, in input order.
     pub fn column_levels(&self, j: usize) -> Vec<i16> {
-        (0..self.inputs).map(|i| self.levels[i * self.outputs + j]).collect()
+        (0..self.inputs)
+            .map(|i| self.levels[i * self.outputs + j])
+            .collect()
     }
 
     /// One stateless step with end-of-step firing.
@@ -195,7 +206,9 @@ pub struct QuantizedSnn {
 impl QuantizedSnn {
     /// Quantizes a trained model at `max_gain` strength levels.
     pub fn from_trained(model: &TrainedSnn, max_gain: u16) -> Self {
-        Self { layers: QuantizedLayer::from_trained(model, max_gain) }
+        Self {
+            layers: QuantizedLayer::from_trained(model, max_gain),
+        }
     }
 
     /// The layers in order.
@@ -320,7 +333,10 @@ mod tests {
         let natural: Vec<usize> = (0..32).collect();
         let (nat_ops, _) = l.reload_ops(0, &natural, &active);
         let (sorted_ops, _) = l.reload_ops(0, &l.strength_sorted_order(0), &active);
-        assert!(sorted_ops < nat_ops / 2, "sorted {sorted_ops} vs natural {nat_ops}");
+        assert!(
+            sorted_ops < nat_ops / 2,
+            "sorted {sorted_ops} vs natural {nat_ops}"
+        );
     }
 
     #[test]

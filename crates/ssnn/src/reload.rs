@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn share_is_width_independent() {
-        let stats = ExecStats { synops: 10_000, polarity_switches: 600, ..Default::default() };
+        let stats = ExecStats {
+            synops: 10_000,
+            polarity_switches: 600,
+            ..Default::default()
+        };
         let a = breakdown(&stats, 1).reload_share();
         let b = breakdown(&stats, 16).reload_share();
         assert!((a - b).abs() < 1e-12);
@@ -100,7 +104,11 @@ mod tests {
     /// share.
     #[test]
     fn bucketed_share_is_about_twenty_percent() {
-        let stats = ExecStats { synops: 160, polarity_switches: 31, ..Default::default() };
+        let stats = ExecStats {
+            synops: 160,
+            polarity_switches: 31,
+            ..Default::default()
+        };
         let share = breakdown(&stats, 1).reload_share();
         assert!((share - 0.20).abs() < 0.05, "share {share}");
     }
@@ -109,7 +117,11 @@ mod tests {
     #[test]
     fn naive_share_dominates() {
         let synops = 160u64;
-        let stats = ExecStats { synops, polarity_switches: naive_switches(synops), ..Default::default() };
+        let stats = ExecStats {
+            synops,
+            polarity_switches: naive_switches(synops),
+            ..Default::default()
+        };
         let share = breakdown(&stats, 1).reload_share();
         assert!(share > 0.35, "naive share {share}");
     }

@@ -96,7 +96,12 @@ impl<'a> SsnnExecutor<'a> {
     /// # Panics
     ///
     /// Panics if `num_states == 0` or `buckets == 0`.
-    pub fn new(net: &'a BinarizedSnn, semantics: FireSemantics, num_states: u64, buckets: usize) -> Self {
+    pub fn new(
+        net: &'a BinarizedSnn,
+        semantics: FireSemantics,
+        num_states: u64,
+        buckets: usize,
+    ) -> Self {
         assert!(num_states > 0, "counter needs at least one state");
         assert!(buckets > 0, "need at least one bucket");
         let orders = net
@@ -108,7 +113,13 @@ impl<'a> SsnnExecutor<'a> {
                     .collect()
             })
             .collect();
-        Self { net, orders, semantics, num_states, buckets }
+        Self {
+            net,
+            orders,
+            semantics,
+            num_states,
+            buckets,
+        }
     }
 
     /// Replaces the visit order of one neuron (for ablations).
@@ -120,7 +131,11 @@ impl<'a> SsnnExecutor<'a> {
         let inputs = self.net.layers()[layer].inputs();
         let mut check = order.clone();
         check.sort_unstable();
-        assert_eq!(check, (0..inputs).collect::<Vec<_>>(), "order must be a permutation");
+        assert_eq!(
+            check,
+            (0..inputs).collect::<Vec<_>>(),
+            "order must be a permutation"
+        );
         self.orders[layer][neuron] = order;
     }
 
@@ -259,7 +274,11 @@ mod tests {
         let reference = SsnnExecutor::new(&net, FireSemantics::EndOfStep, 1024, 1);
         for mask in 0..16u32 {
             let input: Vec<bool> = (0..4).map(|b| mask >> b & 1 == 1).collect();
-            assert_eq!(exec.step(&input).0, reference.step(&input).0, "mask {mask:04b}");
+            assert_eq!(
+                exec.step(&input).0,
+                reference.step(&input).0,
+                "mask {mask:04b}"
+            );
         }
     }
 
@@ -349,7 +368,13 @@ mod tests {
 
     #[test]
     fn hazard_rate_sane() {
-        let s = ExecStats { premature_fires: 1, underflows: 1, synops: 0, polarity_switches: 0, neuron_steps: 8 };
+        let s = ExecStats {
+            premature_fires: 1,
+            underflows: 1,
+            synops: 0,
+            polarity_switches: 0,
+            neuron_steps: 8,
+        };
         assert!((s.hazard_rate() - 0.25).abs() < 1e-12);
         assert_eq!(ExecStats::default().hazard_rate(), 0.0);
     }

@@ -119,7 +119,11 @@ impl TimingSchedule {
 
     /// Appends a pulse.
     pub fn push(&mut self, kind: ChannelKind, channel: impl Into<String>, time: Ps) {
-        self.pulses.push(TimedPulse { kind, channel: channel.into(), time });
+        self.pulses.push(TimedPulse {
+            kind,
+            channel: channel.into(),
+            time,
+        });
     }
 
     /// All pulses, in insertion order.
@@ -137,20 +141,24 @@ impl TimingSchedule {
         let mut errors = Vec::new();
         let mut sorted: Vec<&TimedPulse> = self.pulses.iter().collect();
         sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("no NaN times"));
-        let first_rst = sorted.iter().find(|p| p.kind == ChannelKind::Rst).map(|p| p.time);
-        let first_set = sorted.iter().find(|p| p.kind == ChannelKind::Set).map(|p| p.time);
+        let first_rst = sorted
+            .iter()
+            .find(|p| p.kind == ChannelKind::Rst)
+            .map(|p| p.time);
+        let first_set = sorted
+            .iter()
+            .find(|p| p.kind == ChannelKind::Set)
+            .map(|p| p.time);
         let has_set = first_set.is_some();
         for p in &sorted {
             match p.kind {
-                ChannelKind::Write => {
-                    if first_rst.is_none_or(|t| p.time < t + SAFE_INTERVAL_PS) {
-                        errors.push(TimingError::WriteBeforeRst { at: p.time });
-                    }
+                ChannelKind::Write if first_rst.is_none_or(|t| p.time < t + SAFE_INTERVAL_PS) => {
+                    errors.push(TimingError::WriteBeforeRst { at: p.time });
                 }
-                ChannelKind::Input => {
-                    if has_set && first_set.is_none_or(|t| p.time < t + SAFE_INTERVAL_PS) {
-                        errors.push(TimingError::InputBeforeSet { at: p.time });
-                    }
+                ChannelKind::Input
+                    if has_set && first_set.is_none_or(|t| p.time < t + SAFE_INTERVAL_PS) =>
+                {
+                    errors.push(TimingError::InputBeforeSet { at: p.time });
                 }
                 _ => {}
             }
@@ -160,7 +168,10 @@ impl TimingSchedule {
         for p in &sorted {
             if let Some(&prev) = last.get(p.channel.as_str()) {
                 if p.time - prev < SAFE_INTERVAL_PS {
-                    errors.push(TimingError::TooClose { channel: p.channel.clone(), at: p.time });
+                    errors.push(TimingError::TooClose {
+                        channel: p.channel.clone(),
+                        at: p.time,
+                    });
                 }
             }
             last.insert(&p.channel, p.time);
@@ -205,7 +216,13 @@ mod tests {
     fn fig14_example_is_valid() {
         let s = TimingSchedule::fig14_example(6);
         assert!(s.validate().is_empty(), "{:?}", s.validate());
-        assert_eq!(s.pulses().iter().filter(|p| p.kind == ChannelKind::Input).count(), 6);
+        assert_eq!(
+            s.pulses()
+                .iter()
+                .filter(|p| p.kind == ChannelKind::Input)
+                .count(),
+            6
+        );
     }
 
     #[test]
@@ -239,8 +256,16 @@ mod tests {
     #[test]
     fn read_is_aligned_with_rst_in_example() {
         let s = TimingSchedule::fig14_example(1);
-        let rst = s.pulses().iter().find(|p| p.kind == ChannelKind::Rst).unwrap();
-        let read = s.pulses().iter().find(|p| p.kind == ChannelKind::Read).unwrap();
+        let rst = s
+            .pulses()
+            .iter()
+            .find(|p| p.kind == ChannelKind::Rst)
+            .unwrap();
+        let read = s
+            .pulses()
+            .iter()
+            .find(|p| p.kind == ChannelKind::Read)
+            .unwrap();
         assert_eq!(rst.time, read.time);
     }
 
@@ -257,6 +282,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TimingError::WriteBeforeRst { at: 5.0 }.to_string().contains("write"));
+        assert!(TimingError::WriteBeforeRst { at: 5.0 }
+            .to_string()
+            .contains("write"));
     }
 }

@@ -1,11 +1,11 @@
 //! Property-based tests on the SSNN methodology's invariants.
 
 use proptest::prelude::*;
-use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
-use sushi_ssnn::quantize::QuantizedLayer;
+use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::bitslice::SliceSchedule;
 use sushi_ssnn::bucketing::{analyze_excursion, bucketed_order, inhibitory_first};
 use sushi_ssnn::encode::encode_slice_step;
+use sushi_ssnn::quantize::QuantizedLayer;
 use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
 
 /// Strategy: a sign vector of the given maximum length.

@@ -50,7 +50,11 @@ fn main() {
                 for _ in 0..pulses {
                     neuron.on_spike();
                 }
-                println!("S  ({label}): {} pulses -> state {}", pulses, phase_name(neuron.phase()));
+                println!(
+                    "S  ({label}): {} pulses -> state {}",
+                    pulses,
+                    phase_name(neuron.phase())
+                );
             }
             _ => {
                 let fired = neuron.on_time();

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let healthy = CellAccurateChip::build(2, 4)?;
     let expected = healthy.expected_column_block(&layer, 0..2, &active);
     let nominal = healthy.run_column_block(&layer, 0..2, &active)?;
-    println!("healthy chip:   fired {:?}, violations {}", nominal.fired, nominal.violations);
+    println!(
+        "healthy chip:   fired {:?}, violations {}",
+        nominal.fired, nominal.violations
+    );
     println!("simulation:     fired {expected:?}");
 
     // --- Fabrication spread: 2 ps sigma on every cell delay ----------
@@ -35,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "jitter seed {seed}: fired {:?}, violations {} -> {}",
             run.fired,
             run.violations,
-            if run.fired == expected && run.violations == 0 { "VERIFIED" } else { "REJECTED" }
+            if run.fired == expected && run.violations == 0 {
+                "VERIFIED"
+            } else {
+                "REJECTED"
+            }
         );
     }
 
@@ -45,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "faulty chip:    fired {:?} -> {}",
         bad.fired,
-        if bad.fired == expected { "escaped detection (!)" } else { "DEFECT CAUGHT" }
+        if bad.fired == expected {
+            "escaped detection (!)"
+        } else {
+            "DEFECT CAUGHT"
+        }
     );
 
     // --- VCD export of a state-controller trace ----------------------

@@ -31,12 +31,16 @@ fn state_controller_agrees_under_random_stimulus() {
         // Cell-level.
         let mut n = Netlist::new();
         let ports = ScNetlist::build(&mut n, "sc").unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
-        n.add_input("set0", ports.set0.cell, ports.set0.port).unwrap();
-        n.add_input("set1", ports.set1.cell, ports.set1.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
+        n.add_input("set0", ports.set0.cell, ports.set0.port)
+            .unwrap();
+        n.add_input("set1", ports.set1.cell, ports.set1.port)
+            .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         let mut sim = Simulator::new(&n, &lib);
-        sim.inject(if rise_mode { "set0" } else { "set1" }, &[0.0]).unwrap();
+        sim.inject(if rise_mode { "set0" } else { "set1" }, &[0.0])
+            .unwrap();
         let times: Vec<Ps> = (0..pulses).map(|i| 500.0 + 300.0 * i as Ps).collect();
         sim.inject("in", &times).unwrap();
         sim.run_to_completion().unwrap();
@@ -66,17 +70,21 @@ fn npe_chain_agrees_under_random_programs() {
         // Cell-level.
         let mut n = Netlist::new();
         let ports = NpeNetlist::build(&mut n, "npe", k).unwrap();
-        n.add_input("in", ports.input.cell, ports.input.port).unwrap();
+        n.add_input("in", ports.input.cell, ports.input.port)
+            .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         for (i, sc) in ports.scs.iter().enumerate() {
-            n.add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port).unwrap();
-            n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port).unwrap();
+            n.add_input(format!("set1_{i}"), sc.set1.cell, sc.set1.port)
+                .unwrap();
+            n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
+                .unwrap();
         }
         let mut sim = Simulator::new(&n, &lib);
         let preload = (1u64 << k) - threshold;
         for i in 0..k {
             if (preload >> i) & 1 == 1 {
-                sim.inject(&format!("write_{i}"), &[100.0 + 60.0 * i as Ps]).unwrap();
+                sim.inject(&format!("write_{i}"), &[100.0 + 60.0 * i as Ps])
+                    .unwrap();
             }
             sim.inject(&format!("set1_{i}"), &[1500.0]).unwrap();
         }
@@ -108,7 +116,10 @@ fn random_layers_match_on_cell_accurate_chip() {
         let active: Vec<bool> = (0..inputs).map(|_| rng.gen_bool(0.7)).collect();
         let run = chip.run_column_block(&layer, 0..2, &active).unwrap();
         let expected = chip.expected_column_block(&layer, 0..2, &active);
-        assert_eq!(run.fired, expected, "trial {trial}: layer={layer:?} active={active:?}");
+        assert_eq!(
+            run.fired, expected,
+            "trial {trial}: layer={layer:?} active={active:?}"
+        );
         assert_eq!(run.violations, 0, "trial {trial}");
     }
 }

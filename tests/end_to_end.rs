@@ -8,7 +8,10 @@ use sushi_ssnn::compiler::{Compiler, CompilerConfig};
 
 fn quick_cfg() -> TrainConfig {
     let mut cfg = TrainConfig::tiny_binary();
-    cfg.epochs = 12;
+    cfg.epochs = 16;
+    // Five Poisson steps make the chip's spike counts too coarse to track
+    // the float reference at this scale; ten keeps them consistent.
+    cfg.time_steps = 10;
     cfg
 }
 
@@ -114,6 +117,22 @@ fn full_pipeline_is_deterministic() {
     let e1 = chip.evaluate(&p1, &data);
     let e2 = chip.evaluate(&p2, &data);
     assert_eq!(e1.predictions, e2.predictions);
+}
+
+/// The parallel batch evaluation of a fixed digits slice is bitwise
+/// identical to the sequential evaluation: same predictions, same merged
+/// stats, same accuracy — for every worker count.
+#[test]
+fn parallel_evaluation_matches_sequential_on_fixed_slice() {
+    let data = synth_digits(120, 7);
+    let model = Trainer::new(quick_cfg()).fit(&data);
+    let program = Compiler::new(CompilerConfig::paper()).compile(&model);
+    let chip = SushiChip::paper();
+    let sequential = chip.evaluate_with_workers(&program, &data, 1);
+    for workers in [2, 3, 4, 8] {
+        let parallel = chip.evaluate_with_workers(&program, &data, workers);
+        assert_eq!(parallel, sequential, "workers={workers}");
+    }
 }
 
 /// Executors with either firing semantics give the same prediction on

@@ -17,11 +17,7 @@ fn float_model() -> (sushi_snn::train::TrainedSnn, sushi_snn::data::Dataset) {
     (Trainer::new(cfg).fit(&train), test)
 }
 
-fn frames_for(
-    model: &sushi_snn::train::TrainedSnn,
-    img: &[f32],
-    id: u64,
-) -> Vec<Vec<bool>> {
+fn frames_for(model: &sushi_snn::train::TrainedSnn, img: &[f32], id: u64) -> Vec<Vec<bool>> {
     model
         .encoder()
         .encode(img, model.config.time_steps, id)
@@ -68,8 +64,18 @@ fn precision_is_monotone_in_gain_levels() {
             .collect();
         accs.push(accuracy(&preds, &test.labels));
     }
-    assert!(accs[2] + 0.05 >= accs[1], "16-level {} vs 4-level {}", accs[2], accs[1]);
-    assert!(accs[1] + 0.05 >= accs[0], "4-level {} vs 2-level {}", accs[1], accs[0]);
+    assert!(
+        accs[2] + 0.05 >= accs[1],
+        "16-level {} vs 4-level {}",
+        accs[2],
+        accs[1]
+    );
+    assert!(
+        accs[1] + 0.05 >= accs[0],
+        "4-level {} vs 2-level {}",
+        accs[1],
+        accs[0]
+    );
 }
 
 /// Strength-sorted ordering cuts weight-structure reload operations on

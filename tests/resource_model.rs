@@ -17,16 +17,28 @@ fn table2_anchors() {
         .with_weights(WeightConfig::full())
         .build()
         .resources();
-    assert!(within(r.total_jj() as f64, 45_542.0, 0.10), "total {}", r.total_jj());
+    assert!(
+        within(r.total_jj() as f64, 45_542.0, 0.10),
+        "total {}",
+        r.total_jj()
+    );
     assert!(within(r.area_mm2(), 44.73, 0.10), "area {}", r.area_mm2());
-    assert!((r.wiring_fraction() - 0.6813).abs() < 0.05, "wiring {}", r.wiring_fraction());
+    assert!(
+        (r.wiring_fraction() - 0.6813).abs() < 0.05,
+        "wiring {}",
+        r.wiring_fraction()
+    );
 }
 
 /// Fig 13 / Table 4: the 32-NPE design is ~99,982 JJs and ~103.75 mm².
 #[test]
 fn peak_design_anchors() {
     let r = ChipConfig::mesh(16).build().resources();
-    assert!(within(r.total_jj() as f64, 99_982.0, 0.10), "total {}", r.total_jj());
+    assert!(
+        within(r.total_jj() as f64, 99_982.0, 0.10),
+        "total {}",
+        r.total_jj()
+    );
     assert!(within(r.area_mm2(), 103.75, 0.10), "area {}", r.area_mm2());
 }
 
@@ -37,7 +49,11 @@ fn table4_anchors() {
     let p = PerfModel::new(&chip).evaluate();
     assert!(within(p.gsops, 1355.0, 0.08), "gsops {}", p.gsops);
     assert!(within(p.power_mw, 41.87, 0.10), "power {}", p.power_mw);
-    assert!(within(p.gsops_per_w, 32_366.0, 0.12), "eff {}", p.gsops_per_w);
+    assert!(
+        within(p.gsops_per_w, 32_366.0, 0.12),
+        "eff {}",
+        p.gsops_per_w
+    );
 }
 
 /// Headline ratios: 23x TrueNorth throughput; 81x / 50x efficiency.
@@ -53,8 +69,16 @@ fn headline_ratio_anchors() {
 fn transmission_share_anchors() {
     let p1 = PerfModel::new(&ChipConfig::mesh(1).build()).evaluate();
     let p16 = PerfModel::new(&ChipConfig::mesh(16).build()).evaluate();
-    assert!((p1.wire_share() - 0.06).abs() < 0.02, "1x1 {}", p1.wire_share());
-    assert!((p16.wire_share() - 0.53).abs() < 0.03, "16x16 {}", p16.wire_share());
+    assert!(
+        (p1.wire_share() - 0.06).abs() < 0.02,
+        "1x1 {}",
+        p1.wire_share()
+    );
+    assert!(
+        (p16.wire_share() - 0.53).abs() < 0.03,
+        "16x16 {}",
+        p16.wire_share()
+    );
 }
 
 /// Section 6.3: up to 2.61e5 FPS for the 784-800-10 network.

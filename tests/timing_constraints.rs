@@ -28,7 +28,12 @@ fn encoded_streams_are_violation_free_on_silicon() {
 #[test]
 fn encoded_schedules_pass_protocol_validation() {
     let layer = BinaryLayer::from_signs(vec![1, -1, 1, 1, -1, 1], 3, 2, vec![2, 1]);
-    let slice = Slice { layer: 0, rows: 0..3, cols: 0..2, fires: true };
+    let slice = Slice {
+        layer: 0,
+        rows: 0..3,
+        cols: 0..2,
+        fires: true,
+    };
     let sched = encode_slice_step(&layer, &slice, &[true, true, true], 16, 0.0);
     assert!(sched.validate().is_empty(), "{:?}", sched.validate());
 }
@@ -67,7 +72,8 @@ fn safe_interval_is_safe_through_mixed_cells() {
     n.connect(spl, PortName::DoutA, tff, PortName::Din).unwrap();
     // Skew the direct branch so both CB inputs clear the 5.7 ps
     // cross-channel constraint even when the TFF fires (11 ps path).
-    n.connect_with_delay(spl, PortName::DoutB, cb, PortName::DinA, 30.0).unwrap();
+    n.connect_with_delay(spl, PortName::DoutB, cb, PortName::DinA, 30.0)
+        .unwrap();
     n.connect(tff, PortName::Dout, cb, PortName::DinB).unwrap();
     n.add_input("in", src, PortName::Din).unwrap();
     n.probe("out", cb, PortName::Dout).unwrap();

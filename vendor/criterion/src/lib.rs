@@ -1,0 +1,312 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the call surface the bench targets use — benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BenchmarkId`, `criterion_group!` — as a small wall-clock
+//! harness: per benchmark it warms up once, times up to `sample_size`
+//! samples within the `measurement_time` budget, and prints min/mean/max
+//! per-iteration times (plus element throughput when configured). No
+//! statistics, plots, or baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped per sample; accepted for compatibility,
+/// the harness always times one routine call per setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The timing context passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration durations, appended by `iter`/`iter_batched`.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark closure and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(
+            &self.name,
+            &id.into_benchmark_id(),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark closure and prints its timing line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b, input);
+        report(
+            &self.name,
+            &id.into_benchmark_id(),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; here a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark names: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display form of the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id:<40} (no samples)");
+        return;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let mut line = format!(
+        "{group}/{id}\n{:24}time:   [{} {} {}]",
+        "",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+    if let Some(tp) = throughput {
+        let per_s = |n: u64| n as f64 / mean.as_secs_f64();
+        let (rate, unit) = match tp {
+            Throughput::Elements(n) => (per_s(n), "elem/s"),
+            Throughput::Bytes(n) => (per_s(n), "B/s"),
+        };
+        let scaled = if rate >= 1e9 {
+            format!("{:.3} G{unit}", rate / 1e9)
+        } else if rate >= 1e6 {
+            format!("{:.3} M{unit}", rate / 1e6)
+        } else if rate >= 1e3 {
+            format!("{:.3} K{unit}", rate / 1e3)
+        } else {
+            format!("{rate:.1} {unit}")
+        };
+        write!(line, "\n{:24}thrpt:  [{scaled}]", "").expect("write to String");
+    }
+    println!("{line}\n");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 30,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Prints the end-of-run footer (upstream renders summaries here).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete (offline criterion stand-in: wall-clock min/mean/max)");
+    }
+}
+
+/// Bundles benchmark functions into a single callable, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.measurement_time(Duration::from_millis(50)).sample_size(5);
+        g.throughput(Throughput::Elements(128));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

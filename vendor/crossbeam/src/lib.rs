@@ -1,0 +1,117 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the one API this workspace uses — [`thread::scope`] with
+//! `Scope::spawn` — implemented on top of `std::thread::scope` (stable
+//! since Rust 1.63). Mirrors crossbeam's signature quirks so call sites
+//! keep compiling unchanged: the closure result is wrapped in a `Result`
+//! that is `Err` if any spawned thread panicked, and spawn closures take
+//! a scope argument (ignored at every call site here as `|_|`).
+
+/// Scoped threads (stand-in for `crossbeam::thread` / `crossbeam_utils`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning threads tied to the enclosing [`scope`] call.
+    ///
+    /// Unlike crossbeam's `&Scope<'_>`, this wrapper is passed by value
+    /// (it is `Copy`), which sidesteps the lifetime-invariance gymnastics
+    /// of re-borrowing `std::thread::Scope` while keeping `|s| { s.spawn(..) }`
+    /// call sites source-compatible.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread (stand-in for crossbeam's `ScopedJoinHandle`).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// matching crossbeam's `spawn(|s| ...)` shape.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner.spawn(move || f(self));
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    // SAFETY-free plumbing: Scope only wraps a shared reference to the std
+    // scope, which is itself Sync, so handing copies to spawned threads is
+    // sound by construction.
+    unsafe impl<'scope, 'env> Send for Scope<'scope, 'env> {}
+    unsafe impl<'scope, 'env> Sync for Scope<'scope, 'env> {}
+
+    /// Creates a scope for spawning borrowing threads.
+    ///
+    /// Like crossbeam (and unlike `std::thread::scope`), the closure's
+    /// result comes back as a `Result`: `Err` if the closure itself
+    /// panicked, `Ok` otherwise. Panics from spawned threads that were
+    /// never joined propagate when the std scope unwinds, surfacing as
+    /// `Err` here too.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_merge() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (chunk, src) in out.chunks_mut(2).zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    for (o, i) in chunk.iter_mut().zip(src) {
+                        *o = i * 10;
+                    }
+                });
+            }
+        })
+        .expect("workers panicked");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| 7u32);
+            h.join().expect("worker panicked")
+        })
+        .expect("scope panicked");
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! [`Strategy`] with `prop_map`/`boxed`, range and [`Just`] strategies,
+//! [`any`], `prop::collection::vec`, [`prop_oneof!`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`]
+//! macros. Unlike upstream there is no shrinking and no persisted failure
+//! seeds: every test run draws the same deterministic case sequence from a
+//! fixed seed, so failures reproduce exactly across runs and machines. The
+//! case count defaults to 96 and honours `PROPTEST_CASES`.
+
+use rand::{rngs::StdRng, Rng};
+use std::ops::{Range, RangeInclusive};
+
+/// The generator handed to strategies while a property test runs.
+pub type TestRng = StdRng;
+
+/// A recipe for producing values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(value)` for each drawn `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "draw anything" strategy (stand-in for
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy combinators that need a concrete home for macro expansion.
+pub mod strategy {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice between alternatives (backs [`crate::prop_oneof!`]).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds a union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `alternatives` is empty.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs >= 1 strategy");
+            Self(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].sample(rng)
+        }
+    }
+}
+
+/// The `prop::` module tree (`prop::collection::vec` and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Element-count specification for [`vec`]: an exact length or a
+        /// half-open range of lengths.
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                Self {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` strategy: `size` may be an exact `usize` or a `Range<usize>`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.min + 1 == self.size.max_exclusive {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..self.size.max_exclusive)
+                };
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The deterministic case-loop driver behind [`proptest!`].
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Fixed seed so every run draws the identical case sequence.
+    const SEED: u64 = 0x0505_41c4_a5e5;
+    /// Default number of cases per property (upstream default is 256).
+    const DEFAULT_CASES: u32 = 96;
+
+    /// Runs a property over a deterministic sequence of generated cases.
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CASES);
+            Self {
+                cases,
+                rng: TestRng::seed_from_u64(SEED),
+            }
+        }
+    }
+
+    impl TestRunner {
+        /// Calls `case` once per test case; the first `Err` aborts the run.
+        ///
+        /// # Errors
+        ///
+        /// Returns the failing case's message, prefixed with its index (the
+        /// sequence is deterministic, so the index reproduces the failure).
+        pub fn run_cases<F>(&mut self, mut case: F) -> Result<(), String>
+        where
+            F: FnMut(&mut TestRng) -> Result<(), String>,
+        {
+            for i in 0..self.cases {
+                if let Err(msg) = case(&mut self.rng) {
+                    return Err(format!(
+                        "property failed at deterministic case {}/{}: {}",
+                        i + 1,
+                        self.cases,
+                        msg
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Accepts the upstream surface used here: doc comments, `pat in strategy`
+/// params, and the `ident: Type` shorthand for `any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::default();
+            let outcome = runner.run_cases(|__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let mut __proptest_case =
+                    || -> ::std::result::Result<(), ::std::string::String> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                __proptest_case()
+            });
+            if let ::std::result::Result::Err(msg) = outcome {
+                panic!("{}", msg);
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: binds each `proptest!` parameter from its strategy.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::sample(&($s), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::sample(&($s), $rng);
+    };
+    ($rng:ident, $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i = $crate::Strategy::sample(&$crate::any::<$t>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $i:ident : $t:ty) => {
+        let $i = $crate::Strategy::sample(&$crate::any::<$t>(), $rng);
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Like `assert!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond),
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}: {:?} != {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                __l,
+                __r,
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}: {:?} != {:?}: {} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                __l,
+                __r,
+                ::std::format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Like `assert_ne!`, but fails only the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {}: both {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                __l,
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRunner;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let s = prop::collection::vec(0usize..10, 1..8);
+        let mut a = crate::TestRng::seed_from_u64(5);
+        let mut b = crate::TestRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn oneof_only_yields_alternatives() {
+        let s = prop_oneof![Just(1i8), Just(-1i8)];
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![-1, 1]);
+    }
+
+    #[test]
+    fn runner_reports_first_failing_case() {
+        let mut runner = TestRunner::default();
+        let mut n = 0;
+        let r = runner.run_cases(|_| {
+            n += 1;
+            if n == 3 {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.unwrap_err().contains("case 3/"));
+    }
+
+    proptest! {
+        /// The macro surface itself: mixed `in` and `: Type` params.
+        #[test]
+        fn macro_smoke(xs in prop::collection::vec(1u32..5, 0..6), flip: bool, k in 2usize..4) {
+            prop_assert!(xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| (1..5).contains(&x)));
+            prop_assert_eq!(k.min(3), k, "k was {}", k);
+            prop_assert_ne!(flip as u32, 2);
+        }
+    }
+}

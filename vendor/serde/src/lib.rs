@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repo derives `Serialize`/`Deserialize` on its public data types as
+//! forward-looking API surface, but nothing serializes at run time and the
+//! build environment vendors no external crates. This stub keeps the derive
+//! syntax and trait bounds compiling: the derive macros expand to nothing,
+//! and blanket impls make every type satisfy the marker traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Every type satisfies it, mirroring the blanket impls above.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
