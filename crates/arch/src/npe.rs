@@ -421,7 +421,7 @@ impl SsnnNeuron {
 mod tests {
     use super::*;
     use sushi_cells::CellLibrary;
-    use sushi_sim::Simulator;
+    use sushi_sim::SimConfig;
 
     #[test]
     fn chain_counts_in_binary() {
@@ -517,7 +517,7 @@ mod tests {
             n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
                 .unwrap();
         }
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         for i in 0..k {
             if (preload >> i) & 1 == 1 {
                 sim.inject(&format!("write_{i}"), &[100.0 + 50.0 * i as Ps])
@@ -575,7 +575,7 @@ mod tests {
                 n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
                     .unwrap();
             }
-            let mut sim = Simulator::new(&n, &lib);
+            let mut sim = SimConfig::new().build(&n, &lib);
             // Write preload bits while outputs are disabled (t < 1000).
             let preload = (1u64 << k) - threshold;
             for i in 0..k {

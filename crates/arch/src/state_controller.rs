@@ -255,7 +255,7 @@ impl ScNetlist {
 mod tests {
     use super::*;
     use sushi_cells::CellLibrary;
-    use sushi_sim::Simulator;
+    use sushi_sim::SimConfig;
 
     #[test]
     fn behavior_disabled_never_emits() {
@@ -337,7 +337,7 @@ mod tests {
             .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
 
         // Configure emit-on-rise, then pulse 4 times (well separated).
         sim.inject("set0", &[0.0]).unwrap();
@@ -358,7 +358,7 @@ mod tests {
             .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject("set1", &[0.0]).unwrap();
         sim.inject("in", &[200.0, 400.0, 600.0]).unwrap();
         sim.run_to_completion().unwrap();
@@ -376,7 +376,7 @@ mod tests {
         n.add_input("rst", ports.rst.cell, ports.rst.port).unwrap();
         n.probe("read", ports.read.cell, ports.read.port).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         // Flip to 1, then rst: the read output fires once.
         sim.inject("in", &[100.0]).unwrap();
         sim.inject("rst", &[300.0, 600.0]).unwrap();
@@ -406,7 +406,7 @@ mod tests {
                 .unwrap();
             n.probe("out", ports.out.cell, ports.out.port).unwrap();
             let lib = CellLibrary::nb03();
-            let mut sim = Simulator::new(&n, &lib);
+            let mut sim = SimConfig::new().build(&n, &lib);
             sim.inject("set0", &[0.0]).unwrap();
             let times: Vec<Ps> = (0..count).map(|i| 200.0 + 200.0 * i as Ps).collect();
             sim.inject("in", &times).unwrap();

@@ -306,7 +306,7 @@ impl SyncAccelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sushi_sim::Simulator;
+    use sushi_sim::SimConfig;
 
     #[test]
     fn behavioral_register_is_a_fifo() {
@@ -342,7 +342,7 @@ mod tests {
         n.add_input("din", ports.din.cell, ports.din.port).unwrap();
         n.add_input("clk", ports.clk.cell, ports.clk.port).unwrap();
         n.probe("dout", ports.dout.cell, ports.dout.port).unwrap();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         // Load a 1, then clock three times: it must appear exactly once,
         // on the third clock.
         sim.inject("din", &[100.0]).unwrap();
@@ -362,7 +362,7 @@ mod tests {
         n.add_input("din", ports.din.cell, ports.din.port).unwrap();
         n.add_input("clk", ports.clk.cell, ports.clk.port).unwrap();
         n.probe("dout", ports.dout.cell, ports.dout.port).unwrap();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         // Pattern 1,1 loaded between clocks: both bits must emerge.
         sim.inject("din", &[100.0, 1100.0]).unwrap();
         sim.inject("clk", &[1000.0, 2000.0, 3000.0]).unwrap();

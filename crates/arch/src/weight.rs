@@ -216,7 +216,7 @@ impl WeightNetlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sushi_sim::Simulator;
+    use sushi_sim::SimConfig;
 
     #[test]
     fn behavioral_gain_multiplies() {
@@ -256,7 +256,7 @@ mod tests {
             for (k, (set, _rst)) in ports.loops.iter().enumerate() {
                 n.add_input(format!("set{k}"), set.cell, set.port).unwrap();
             }
-            let mut sim = Simulator::new(&n, &lib);
+            let mut sim = SimConfig::new().build(&n, &lib);
             // Enable gain-1 .. gain-target loops.
             for k in 0..(target_gain - 1) {
                 sim.inject(&format!("set{k}"), &[0.0]).unwrap();
@@ -287,7 +287,7 @@ mod tests {
         n.add_input("in", src, PortName::Din).unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
         assert!(ports.loops.is_empty());
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject("in", &[0.0, 100.0, 200.0]).unwrap();
         sim.run_to_completion().unwrap();
         assert_eq!(sim.pulses("out").len(), 3);
@@ -320,7 +320,7 @@ mod tests {
             .unwrap();
         n.add_input("rst0", ports.loops[0].1.cell, ports.loops[0].1.port)
             .unwrap();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         // Gain 2 for the first pulse, reconfigure to gain 1 for the second.
         sim.inject("set0", &[0.0]).unwrap();
         sim.inject("in", &[1000.0]).unwrap();

@@ -6,7 +6,7 @@ use std::time::Duration;
 use sushi_arch::npe::NpeNetlist;
 use sushi_arch::state_controller::ScNetlist;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
-use sushi_sim::{BatchRunner, Netlist, Simulator, Stimulus, StimulusBuilder};
+use sushi_sim::{BatchRunner, Netlist, SimConfig, Stimulus, StimulusBuilder};
 
 /// A deep JTL pipeline: the raw event-propagation path.
 fn jtl_pipeline(depth: usize) -> Netlist {
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("jtl_pipeline_200x100_pulses", |b| {
         b.iter_batched(
             || {
-                let mut sim = Simulator::new(&pipeline, &lib);
+                let mut sim = SimConfig::new().build(&pipeline, &lib);
                 sim.inject("in", &pulses).unwrap();
                 sim
             },
@@ -62,7 +62,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("state_controller_200_pulses", |b| {
         b.iter_batched(
             || {
-                let mut sim = Simulator::new(&sc_net, &lib);
+                let mut sim = SimConfig::new().build(&sc_net, &lib);
                 sim.inject("set1", &[0.0]).unwrap();
                 sim.inject("in", &sc_pulses).unwrap();
                 sim
@@ -92,7 +92,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("npe_counter_256_pulses", |b| {
         b.iter_batched(
             || {
-                let mut sim = Simulator::new(&npe_net, &lib);
+                let mut sim = SimConfig::new().build(&npe_net, &lib);
                 for i in 0..6 {
                     sim.inject(&format!("set1_{i}"), &[0.0]).unwrap();
                 }

@@ -5,6 +5,7 @@ use criterion::{criterion_group, Criterion};
 use std::time::Duration;
 use sushi_core::experiments::{table3, Scale};
 use sushi_core::SushiChip;
+use sushi_sim::EvalOptions;
 use sushi_snn::data::synth_digits;
 use sushi_snn::train::{TrainConfig, Trainer};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
@@ -26,12 +27,15 @@ fn bench(c: &mut Criterion) {
     // Whole-dataset evaluation, sequential vs the parallel batch layer.
     let slice = synth_digits(60, 2);
     g.bench_function("evaluate_60_samples_1_worker", |b| {
-        b.iter(|| chip.evaluate_with_workers(&program, &slice, 1).accuracy)
+        b.iter(|| {
+            chip.evaluate(&program, &slice, &EvalOptions::new().workers(1))
+                .accuracy
+        })
     });
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     g.bench_function(format!("evaluate_60_samples_{workers}_workers"), |b| {
         b.iter(|| {
-            chip.evaluate_with_workers(&program, &slice, workers)
+            chip.evaluate(&program, &slice, &EvalOptions::new().workers(workers))
                 .accuracy
         })
     });

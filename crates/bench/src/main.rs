@@ -7,6 +7,10 @@
 //! reduced training scale. EXPERIMENT names: table1, table2, table3,
 //! table4, fig13, fig14, fig16, fig19, fig20, fig21, delay, reload,
 //! states, quantization, sync, process, conv, scaleout, fps.
+//!
+//! The extra `bench` name (not part of the default run) prints the
+//! observability drill-down: hot-cell and per-worker metrics tables for
+//! the fig16 cell-accurate run and an end-to-end evaluation.
 
 use sushi_core::experiments as exp;
 
@@ -25,6 +29,10 @@ fn main() {
         .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
+    // Opt-in only: metrics instrumentation is not part of the paper run.
+    if selected.contains(&"bench") {
+        println!("{}\n", exp::bench_metrics(scale));
+    }
     if want("table1") {
         println!("{}\n", exp::table1());
     }

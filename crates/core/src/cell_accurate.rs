@@ -11,7 +11,8 @@ use std::ops::Range;
 use sushi_arch::chip::{ChipConfig, ChipNetlist};
 use sushi_cells::{CellLibrary, Ps};
 use sushi_sim::{
-    BatchRunner, Fault, PulseTrain, SimError, SimOutcome, Simulator, Stimulus, StimulusBuilder,
+    BatchReport, BatchRunner, EvalOptions, Fault, PulseTrain, SimConfig, SimError, SimOutcome,
+    Stimulus, StimulusBuilder,
 };
 use sushi_ssnn::binarize::BinaryLayer;
 use sushi_ssnn::bitslice::Slice;
@@ -37,6 +38,19 @@ pub struct CellAccurateChip {
     library: CellLibrary,
     faults: Vec<(sushi_sim::CellId, Fault)>,
     jitter: Option<(u64, Ps)>,
+}
+
+/// Results of a batched [`CellAccurateChip::run_column_blocks`] call:
+/// the per-job outcomes plus, when requested via
+/// [`EvalOptions::report`](sushi_sim::EvalOptions), the worker pool's
+/// metrics report.
+#[derive(Debug, Clone)]
+pub struct CellBatchRun {
+    /// Per-job results, in job order.
+    pub results: Vec<CellRunResult>,
+    /// Pool metrics, present only when requested (and never on the
+    /// sequential fault/jitter fallback path).
+    pub report: Option<BatchReport>,
 }
 
 /// Result of one cell-accurate column-block run.
@@ -139,27 +153,29 @@ impl CellAccurateChip {
     ) -> Result<CellRunResult, SimError> {
         let width = cols.len();
         let (stim, end_ps) = self.block_stimulus(layer, cols, active);
-        let mut sim = Simulator::new(&self.chip.netlist, &self.library);
+        let mut config = SimConfig::new();
         for &(cell, fault) in &self.faults {
-            sim = sim.with_fault(cell, fault);
+            config = config.fault(cell, fault);
         }
         if let Some((seed, sigma)) = self.jitter {
-            sim = sim.with_jitter(seed, sigma);
+            config = config.jitter(seed, sigma);
         }
+        let mut sim = config.build(&self.chip.netlist, &self.library);
         stim.inject_into(&mut sim)?;
         sim.run_to_completion()?;
         Ok(Self::package(width, end_ps, sim.take_outcome()))
     }
 
     /// Runs many independent column-block time steps in one call, fanned
-    /// across the [`BatchRunner`] worker pool. Each job is a
-    /// `(column range, active inputs)` pair as in
-    /// [`CellAccurateChip::run_column_block`]; results come back in job
-    /// order, bitwise identical to running the jobs sequentially.
+    /// across the [`BatchRunner`] worker pool under `opts` (worker count,
+    /// optional metrics report). Each job is a `(column range, active
+    /// inputs)` pair as in [`CellAccurateChip::run_column_block`]; results
+    /// come back in job order, bitwise identical to running the jobs
+    /// sequentially.
     ///
     /// Chips carrying injected faults or jitter fall back to the
     /// sequential fault-capable path (those are verification features, not
-    /// throughput paths).
+    /// throughput paths); that path never carries a metrics report.
     ///
     /// # Errors
     ///
@@ -173,12 +189,17 @@ impl CellAccurateChip {
         &self,
         layer: &BinaryLayer,
         jobs: &[(Range<usize>, Vec<bool>)],
-    ) -> Result<Vec<CellRunResult>, SimError> {
+        opts: &EvalOptions,
+    ) -> Result<CellBatchRun, SimError> {
         if !self.faults.is_empty() || self.jitter.is_some() {
-            return jobs
+            let results = jobs
                 .iter()
                 .map(|(cols, active)| self.run_column_block(layer, cols.clone(), active))
-                .collect();
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(CellBatchRun {
+                results,
+                report: None,
+            });
         }
         let mut stimuli = Vec::with_capacity(jobs.len());
         let mut meta = Vec::with_capacity(jobs.len());
@@ -187,12 +208,20 @@ impl CellAccurateChip {
             stimuli.push(stim);
             meta.push((cols.len(), end_ps));
         }
-        let outcomes = BatchRunner::new(&self.chip.netlist, &self.library).run(&stimuli)?;
-        Ok(outcomes
+        let runner = BatchRunner::new(&self.chip.netlist, &self.library)
+            .with_workers(opts.resolve_workers());
+        let (outcomes, report) = if opts.report {
+            let (outcomes, report) = runner.run_with_report(&stimuli, opts.hot_top_n)?;
+            (outcomes, Some(report))
+        } else {
+            (runner.run(&stimuli)?, None)
+        };
+        let results = outcomes
             .into_iter()
             .zip(meta)
             .map(|(outcome, (width, end_ps))| Self::package(width, end_ps, outcome))
-            .collect())
+            .collect();
+        Ok(CellBatchRun { results, report })
     }
 
     /// Encodes one column-block time step into a single [`Stimulus`] plus
@@ -292,7 +321,8 @@ impl CellAccurateChip {
             .map(|c0| (c0..(c0 + self.n()).min(layer.outputs()), active.to_vec()))
             .collect();
         Ok(self
-            .run_column_blocks(layer, &jobs)?
+            .run_column_blocks(layer, &jobs, &EvalOptions::default())?
+            .results
             .into_iter()
             .flat_map(|r| r.fired)
             .collect())
@@ -423,13 +453,39 @@ mod tests {
                 )
             })
             .collect();
-        let batched = chip.run_column_blocks(&layer, &jobs).unwrap();
-        for (job, got) in jobs.iter().zip(&batched) {
+        let batched = chip
+            .run_column_blocks(&layer, &jobs, &EvalOptions::default())
+            .unwrap();
+        assert!(batched.report.is_none(), "report not requested");
+        for (job, got) in jobs.iter().zip(&batched.results) {
             let seq = chip
                 .run_column_block(&layer, job.0.clone(), &job.1)
                 .unwrap();
             assert_eq!(*got, seq);
         }
+    }
+
+    /// Requesting a report yields pool metrics consistent with the jobs,
+    /// and the fault-injection fallback path stays report-free.
+    #[test]
+    fn batched_blocks_report_metrics_when_asked() {
+        let chip = CellAccurateChip::build(2, 3).unwrap();
+        let layer = BinaryLayer::from_signs(vec![1, 1, 1, 1], 2, 2, vec![2, 1]);
+        let jobs: Vec<(std::ops::Range<usize>, Vec<bool>)> =
+            (0..4).map(|_| (0..2usize, vec![true, true])).collect();
+        let opts = EvalOptions::new().workers(2).report(true).hot_top_n(3);
+        let run = chip.run_column_blocks(&layer, &jobs, &opts).unwrap();
+        let report = run.report.expect("report requested");
+        assert_eq!(report.items, 4);
+        assert_eq!(report.hot_cells.len(), 3);
+        assert!(report.events_delivered > 0);
+        // Fault fallback: same jobs, but the sequential path carries no report.
+        let broken = CellAccurateChip::build(2, 3)
+            .unwrap()
+            .with_fault("npe0.sc2.cb_out", Fault::DropOutput);
+        let fallback = broken.run_column_blocks(&layer, &jobs, &opts).unwrap();
+        assert!(fallback.report.is_none());
+        assert_eq!(fallback.results.len(), 4);
     }
 
     #[test]

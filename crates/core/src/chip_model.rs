@@ -7,10 +7,13 @@
 //! chip would spend it (synaptic pipeline + weight reloads, discounted by
 //! slice utilization).
 
+use crate::report::{EvalReport, EvalWorkerMetrics};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use sushi_arch::chip::ChipDesign;
 use sushi_arch::ChipConfig;
 use sushi_arch::PerfModel;
+use sushi_sim::EvalOptions;
 use sushi_snn::data::Dataset;
 use sushi_snn::metrics::accuracy;
 use sushi_ssnn::reload::{breakdown, ReloadBreakdown};
@@ -39,6 +42,10 @@ pub struct ChipEvaluation {
     pub stats: ExecStats,
     /// Compute/reload time breakdown.
     pub reload: ReloadBreakdown,
+    /// Throughput metrics, present only when requested via
+    /// [`EvalOptions::report`] (wall-clock times would otherwise break
+    /// bitwise comparisons between runs).
+    pub report: Option<EvalReport>,
 }
 
 /// The behavioural chip: a [`ChipDesign`] executing [`ChipProgram`]s.
@@ -103,66 +110,69 @@ impl SushiChip {
         }
     }
 
-    /// Evaluates `program` over `data` (sample ids are dataset indices,
-    /// matching the float reference), fanning samples across one worker
-    /// per available CPU. Deterministic: identical to the single-worker
-    /// evaluation for any worker count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the program was compiled for a different chip width.
-    pub fn evaluate(&self, program: &ChipProgram, data: &Dataset) -> ChipEvaluation {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.evaluate_with_workers(program, data, workers)
-    }
-
-    /// Evaluates `program` over `data` on exactly `workers` threads
-    /// (clamped to at least 1). Samples are independent, assigned to
-    /// workers in contiguous chunks and merged back in dataset order, so
-    /// the result is bitwise identical regardless of `workers`.
+    /// Evaluates `program` over `data` under `opts`: worker count (auto by
+    /// default), base sample seed (0 reproduces historical runs — sample
+    /// ids are dataset indices, matching the float reference) and optional
+    /// throughput reporting. Deterministic for fixed `opts.seed`: samples
+    /// are independent, assigned to workers in contiguous chunks and
+    /// merged back in dataset order, so the result is bitwise identical
+    /// regardless of the worker count.
     ///
     /// # Panics
     ///
     /// Panics if the program was compiled for a different chip width, or
     /// if a worker thread panics.
-    pub fn evaluate_with_workers(
+    pub fn evaluate(
         &self,
         program: &ChipProgram,
         data: &Dataset,
-        workers: usize,
+        opts: &EvalOptions,
     ) -> ChipEvaluation {
         self.check_program(program);
-        let outcomes: Vec<InferenceOutcome> = if workers <= 1 || data.len() <= 1 {
-            data.images
-                .iter()
-                .enumerate()
-                .map(|(i, img)| self.run_sample(program, img, i as u64))
-                .collect()
+        let t0 = Instant::now();
+        let workers = opts.resolve_workers();
+        let chunk = if workers <= 1 || data.len() <= 1 {
+            data.len().max(1)
         } else {
-            let chunk = data.len().div_ceil(workers);
-            let mut slots: Vec<Option<InferenceOutcome>> = vec![None; data.len()];
+            data.len().div_ceil(workers)
+        };
+        let mut slots: Vec<Option<InferenceOutcome>> = vec![None; data.len()];
+        // Busy wall seconds per spawned worker.
+        let mut walls: Vec<f64> = Vec::new();
+        let run_chunk = |start: usize, imgs: &[Vec<f32>], out: &mut [Option<InferenceOutcome>]| {
+            let w0 = Instant::now();
+            for (off, (img, slot)) in imgs.iter().zip(out.iter_mut()).enumerate() {
+                let sample_id = opts.seed.wrapping_add((start + off) as u64);
+                *slot = Some(self.run_sample(program, img, sample_id));
+            }
+            w0.elapsed().as_secs_f64()
+        };
+        if chunk >= data.len() {
+            walls.push(run_chunk(0, &data.images, &mut slots));
+        } else {
+            let mut wall_slots: Vec<Option<f64>> = vec![None; data.len().div_ceil(chunk)];
+            let run_chunk = &run_chunk;
             crossbeam::thread::scope(|s| {
-                for (ci, (imgs, out)) in data
+                for (ci, ((imgs, out), wall)) in data
                     .images
                     .chunks(chunk)
                     .zip(slots.chunks_mut(chunk))
+                    .zip(wall_slots.iter_mut())
                     .enumerate()
                 {
-                    s.spawn(move |_| {
-                        for (off, (img, slot)) in imgs.iter().zip(out.iter_mut()).enumerate() {
-                            *slot = Some(self.run_sample(program, img, (ci * chunk + off) as u64));
-                        }
-                    });
+                    s.spawn(move |_| *wall = Some(run_chunk(ci * chunk, imgs, out)));
                 }
             })
             .expect("evaluation worker panicked");
-            slots
+            walls = wall_slots
                 .into_iter()
-                .map(|slot| slot.expect("every slot written by its worker"))
-                .collect()
-        };
+                .map(|w| w.expect("every worker recorded its wall time"))
+                .collect();
+        }
+        let outcomes: Vec<InferenceOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot written by its worker"))
+            .collect();
         // Merge in dataset order — the same fold the sequential loop does.
         let mut predictions = Vec::with_capacity(data.len());
         let mut stats = ExecStats::default();
@@ -171,12 +181,61 @@ impl SushiChip {
             stats.merge(&outcome.stats);
         }
         let reload = breakdown(&stats, self.design.n());
+        let report = opts
+            .report
+            .then(|| Self::make_report(data.len(), chunk, &walls, t0.elapsed().as_secs_f64()));
         ChipEvaluation {
             accuracy: accuracy(&predictions, &data.labels),
             predictions,
             stats,
             reload,
+            report,
         }
+    }
+
+    fn make_report(samples: usize, chunk: usize, walls: &[f64], wall_s: f64) -> EvalReport {
+        let workers: Vec<EvalWorkerMetrics> = walls
+            .iter()
+            .enumerate()
+            .map(|(wi, &w)| {
+                // The last chunk may be short.
+                let count = chunk.min(samples.saturating_sub(wi * chunk));
+                EvalWorkerMetrics {
+                    worker: wi,
+                    samples: count,
+                    wall_s: w,
+                    samples_per_s: if w > 0.0 { count as f64 / w } else { 0.0 },
+                }
+            })
+            .collect();
+        let max_wall = walls.iter().copied().fold(0.0, f64::max);
+        let busy: f64 = walls.iter().sum();
+        EvalReport {
+            samples,
+            wall_s,
+            samples_per_s: if wall_s > 0.0 {
+                samples as f64 / wall_s
+            } else {
+                0.0
+            },
+            utilization: if walls.is_empty() || max_wall <= 0.0 {
+                1.0
+            } else {
+                busy / (walls.len() as f64 * max_wall)
+            },
+            workers,
+        }
+    }
+
+    /// Evaluates on exactly `workers` threads.
+    #[deprecated(note = "use evaluate(program, data, &EvalOptions::new().workers(n))")]
+    pub fn evaluate_with_workers(
+        &self,
+        program: &ChipProgram,
+        data: &Dataset,
+        workers: usize,
+    ) -> ChipEvaluation {
+        self.evaluate(program, data, &EvalOptions::new().workers(workers.max(1)))
     }
 
     /// Estimated sustained frames per second for `program` on this chip,
@@ -253,10 +312,11 @@ mod tests {
         let (program, _) = tiny_program();
         let chip = SushiChip::paper();
         let data = synth_digits(40, 4);
-        let eval = chip.evaluate(&program, &data);
+        let eval = chip.evaluate(&program, &data, &EvalOptions::default());
         assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
         assert_eq!(eval.predictions.len(), 40);
         assert!(eval.reload.reload_share() < 0.6);
+        assert!(eval.report.is_none());
     }
 
     /// The parallel evaluation is bitwise identical to the sequential one
@@ -266,12 +326,46 @@ mod tests {
         let (program, _) = tiny_program();
         let chip = SushiChip::paper();
         let data = synth_digits(30, 4);
-        let reference = chip.evaluate_with_workers(&program, &data, 1);
+        let reference = chip.evaluate(&program, &data, &EvalOptions::new().workers(1));
         for workers in [2, 4, 7] {
-            let got = chip.evaluate_with_workers(&program, &data, workers);
+            let got = chip.evaluate(&program, &data, &EvalOptions::new().workers(workers));
             assert_eq!(got, reference, "workers={workers}");
         }
-        assert_eq!(chip.evaluate(&program, &data), reference);
+        assert_eq!(
+            chip.evaluate(&program, &data, &EvalOptions::default()),
+            reference
+        );
+    }
+
+    /// The deprecated worker-count entry point still matches the new API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_evaluate_with_workers_matches_eval_options() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let data = synth_digits(12, 4);
+        let via_opts = chip.evaluate(&program, &data, &EvalOptions::new().workers(3));
+        let via_shim = chip.evaluate_with_workers(&program, &data, 3);
+        assert_eq!(via_shim, via_opts);
+    }
+
+    /// Requesting a report fills it in with per-worker metrics that add up.
+    #[test]
+    fn evaluate_report_covers_all_samples() {
+        let (program, _) = tiny_program();
+        let chip = SushiChip::paper();
+        let data = synth_digits(10, 4);
+        let opts = EvalOptions::new().workers(3).report(true);
+        let eval = chip.evaluate(&program, &data, &opts);
+        let report = eval.report.expect("report requested");
+        assert_eq!(report.samples, 10);
+        assert_eq!(report.workers.len(), 3);
+        let per_worker: usize = report.workers.iter().map(|w| w.samples).sum();
+        assert_eq!(per_worker, 10);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        // Seeded runs differ from the seed-0 default: the sample ids move.
+        let seeded = chip.evaluate(&program, &data, &EvalOptions::new().seed(7));
+        assert_eq!(seeded.predictions.len(), 10);
     }
 
     #[test]

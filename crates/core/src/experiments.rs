@@ -8,13 +8,13 @@
 use crate::cell_accurate::CellAccurateChip;
 use crate::eval::{efficiency_ratio, speedup_vs_truenorth, table4_rows};
 use crate::oscilloscope::Oscilloscope;
-use crate::report::TextTable;
+use crate::report::{batch_worker_table, eval_worker_table, hot_cell_table, TextTable};
 use crate::SushiChip;
 use serde::{Deserialize, Serialize};
 use sushi_arch::chip::{ChipConfig, WeightConfig};
 use sushi_arch::{PerfModel, ResourceReport};
 use sushi_cells::{CellKind, CellLibrary};
-use sushi_sim::PulseTrain;
+use sushi_sim::{BatchReport, EvalOptions, PulseTrain};
 use sushi_snn::data::{synth_digits, synth_fashion, Dataset};
 use sushi_snn::metrics::consistency;
 use sushi_snn::train::{TrainConfig, TrainedSnn, Trainer};
@@ -203,7 +203,7 @@ fn table3_one(data: &Dataset, scale: Scale) -> Table3Row {
     let float_preds = model.predict_all(&test);
     let program = Compiler::new(CompilerConfig::paper()).compile(&model);
     let chip = SushiChip::paper();
-    let eval = chip.evaluate(&program, &test);
+    let eval = chip.evaluate(&program, &test, &EvalOptions::default());
     Table3Row {
         dataset: data.name.clone(),
         reference_accuracy: sushi_snn::metrics::accuracy(&float_preds, &test.labels),
@@ -287,6 +287,14 @@ impl Fig16Result {
 /// A small network is trained for this experiment (the cell-accurate
 /// netlist holds every SPL/CB/TFF/NDRO, so the layer must stay small).
 pub fn fig16() -> (Fig16Result, String) {
+    let (result, _, text) = fig16_with_report(false);
+    (result, text)
+}
+
+/// [`fig16`], optionally instrumented: when `want_report` is set the
+/// batched cell-accurate runs also return the worker pool's
+/// [`BatchReport`] (hot cells, per-worker throughput).
+pub fn fig16_with_report(want_report: bool) -> (Fig16Result, Option<BatchReport>, String) {
     // Train a 784-16-10 network quickly.
     let data = synth_digits(400, 1);
     let (train, test) = data.split(0.9);
@@ -338,11 +346,13 @@ pub fn fig16() -> (Fig16Result, String) {
             job_at.push((t, cols));
         }
     }
-    let runs = chip
-        .run_column_blocks(out_layer, &jobs)
+    let opts = EvalOptions::new().report(want_report);
+    let run = chip
+        .run_column_blocks(out_layer, &jobs, &opts)
         .expect("cell-accurate runs succeed");
+    let report = run.report;
     let mut violations = 0;
-    for (run, ((t, cols), (_, hidden))) in runs.iter().zip(job_at.into_iter().zip(&jobs)) {
+    for (run, ((t, cols), (_, hidden))) in run.results.iter().zip(job_at.into_iter().zip(&jobs)) {
         violations += run.violations;
         let expect = chip.expected_column_block(out_layer, cols.clone(), hidden);
         for (k, j) in cols.enumerate() {
@@ -394,7 +404,7 @@ pub fn fig16() -> (Fig16Result, String) {
         result.sim_prediction,
         test.labels[sample]
     );
-    (result, text)
+    (result, report, text)
 }
 
 /// Table 4: comparison with TrueNorth and Tianjic.
@@ -787,7 +797,7 @@ pub fn quantization_ablation(scale: Scale) -> String {
     // Binary path.
     let program = Compiler::new(CompilerConfig::paper()).compile(&model);
     let chip = SushiChip::paper();
-    let eval = chip.evaluate(&program, &test);
+    let eval = chip.evaluate(&program, &test, &EvalOptions::default());
     table = table.row_owned(vec![
         "binary (±1)".to_owned(),
         format!("{:.2}%", eval.accuracy * 100.0),
@@ -865,6 +875,56 @@ pub fn fps_paper_shape() -> String {
         config: cfg,
     };
     fps(&model)
+}
+
+/// The observability drill-down behind `sushi-bench -- bench`: the Fig 16
+/// cell-accurate run with the worker pool instrumented (hot cells,
+/// per-worker throughput) plus an end-to-end behavioural evaluation with
+/// its throughput report, each rendered as tables and as one JSON line.
+pub fn bench_metrics(scale: Scale) -> String {
+    let mut out = String::new();
+
+    // Cell-accurate path: fig16's batched column-block runs, instrumented.
+    let (result, report, _) = fig16_with_report(true);
+    let report = report.expect("fig16 batch path carries a report");
+    out.push_str(&format!(
+        "## Bench: fig16 cell-accurate run (instrumented)\n\
+         jobs {} | events delivered {} | sim time {:.0} ps | {:.1} jobs/s | utilization {:.0}%\n\
+         waveforms match: {} | violations: {}\n\nhot cells:\n{}\nworkers:\n{}\njson: {}\n",
+        report.items,
+        report.events_delivered,
+        report.sim_time_ps,
+        report.items_per_s,
+        report.utilization * 100.0,
+        result.waveforms_match(),
+        result.violations,
+        hot_cell_table(&report.hot_cells),
+        batch_worker_table(&report),
+        report.to_json(),
+    ));
+
+    // Behavioural path: train quickly, evaluate end to end with a report.
+    let data = synth_digits(scale.samples.min(400), 4);
+    let (train, test) = data.split(0.8);
+    let mut cfg = scale.config();
+    cfg.hidden = vec![scale.hidden.min(64)];
+    let model = Trainer::new(cfg).fit(&train);
+    let program = Compiler::new(CompilerConfig::paper()).compile(&model);
+    let chip = SushiChip::paper();
+    let eval = chip.evaluate(&program, &test, &EvalOptions::new().report(true));
+    let er = eval.report.expect("report requested");
+    out.push_str(&format!(
+        "\n## Bench: end-to-end behavioural evaluation\n\
+         samples {} | {:.1} samples/s | wall {:.3} s | utilization {:.0}% | accuracy {:.1}%\n\nworkers:\n{}\njson: {}\n",
+        er.samples,
+        er.samples_per_s,
+        er.wall_s,
+        er.utilization * 100.0,
+        eval.accuracy * 100.0,
+        eval_worker_table(&er),
+        er.to_json(),
+    ));
+    out
 }
 
 /// Runs every experiment at the given scale and concatenates the reports.

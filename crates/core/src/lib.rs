@@ -49,7 +49,7 @@ pub mod oscilloscope;
 pub mod report;
 
 pub use baselines::Baseline;
-pub use cell_accurate::CellAccurateChip;
+pub use cell_accurate::{CellAccurateChip, CellBatchRun, CellRunResult};
 pub use chip_model::{ChipEvaluation, InferenceOutcome, SushiChip};
 pub use oscilloscope::Oscilloscope;
-pub use report::TextTable;
+pub use report::{EvalReport, EvalWorkerMetrics, TextTable};

@@ -1,6 +1,10 @@
-//! Plain-text table rendering for experiment reports.
+//! Experiment reporting: plain-text tables plus the structured metrics
+//! reports emitted by the evaluation layer ([`EvalReport`]) and their
+//! table/JSON renderings.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use sushi_sim::{BatchReport, HotCellEntry, Json};
 
 /// A simple fixed-width text table.
 ///
@@ -93,6 +97,113 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Metrics for one behavioural-evaluation worker thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalWorkerMetrics {
+    /// Worker index (chunk order).
+    pub worker: usize,
+    /// Samples this worker inferred.
+    pub samples: usize,
+    /// Busy wall time, seconds.
+    pub wall_s: f64,
+    /// Samples per wall second.
+    pub samples_per_s: f64,
+}
+
+impl EvalWorkerMetrics {
+    /// JSON form of the metrics.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", Json::UInt(self.worker as u64)),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("samples_per_s", Json::Num(self.samples_per_s)),
+        ])
+    }
+}
+
+/// The metrics report of one [`SushiChip::evaluate`](crate::SushiChip::evaluate)
+/// call, collected when [`EvalOptions::report`](sushi_sim::EvalOptions) is
+/// on: end-to-end and per-worker inference throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Samples evaluated.
+    pub samples: usize,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// Samples per wall second.
+    pub samples_per_s: f64,
+    /// Mean worker busy time over the slowest worker's busy time.
+    pub utilization: f64,
+    /// Per-worker breakdown, chunk order.
+    pub workers: Vec<EvalWorkerMetrics>,
+}
+
+impl EvalReport {
+    /// JSON form of the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("samples", Json::UInt(self.samples as u64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("samples_per_s", Json::Num(self.samples_per_s)),
+            ("utilization", Json::Num(self.utilization)),
+            (
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(EvalWorkerMetrics::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Renders a hot-cell top-N as a text table (label, kind, deliveries,
+/// emissions, energy).
+pub fn hot_cell_table(hot: &[HotCellEntry]) -> TextTable {
+    let mut t = TextTable::new(&["cell", "kind", "deliveries", "emissions", "energy_pj"]);
+    for h in hot {
+        t = t.row_owned(vec![
+            h.label.clone(),
+            h.kind.to_string(),
+            h.deliveries.to_string(),
+            h.emissions.to_string(),
+            format!("{:.4}", h.energy_pj),
+        ]);
+    }
+    t
+}
+
+/// Renders a [`BatchReport`]'s per-worker metrics as a text table.
+pub fn batch_worker_table(report: &BatchReport) -> TextTable {
+    let mut t = TextTable::new(&["worker", "items", "events", "violations", "items/s"]);
+    for w in &report.workers {
+        t = t.row_owned(vec![
+            w.worker.to_string(),
+            w.items.to_string(),
+            w.events_delivered.to_string(),
+            w.violations.to_string(),
+            format!("{:.1}", w.items_per_s),
+        ]);
+    }
+    t
+}
+
+/// Renders an [`EvalReport`]'s per-worker metrics as a text table.
+pub fn eval_worker_table(report: &EvalReport) -> TextTable {
+    let mut t = TextTable::new(&["worker", "samples", "samples/s"]);
+    for w in &report.workers {
+        t = t.row_owned(vec![
+            w.worker.to_string(),
+            w.samples.to_string(),
+            format!("{:.1}", w.samples_per_s),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +230,26 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn wrong_width_panics() {
         let _ = TextTable::new(&["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn eval_report_serializes_and_renders() {
+        let report = EvalReport {
+            samples: 12,
+            wall_s: 0.5,
+            samples_per_s: 24.0,
+            utilization: 0.9,
+            workers: vec![EvalWorkerMetrics {
+                worker: 0,
+                samples: 12,
+                wall_s: 0.5,
+                samples_per_s: 24.0,
+            }],
+        };
+        let parsed = Json::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("samples").unwrap().as_u64(), Some(12));
+        assert_eq!(parsed.get("workers").unwrap().as_arr().unwrap().len(), 1);
+        let table = eval_worker_table(&report).to_string();
+        assert!(table.contains("samples/s"), "{table}");
     }
 }

@@ -55,9 +55,13 @@
 //! ```
 
 use crate::engine::{SimError, SimOutcome, Simulator};
+use crate::json::Json;
 use crate::netlist::Netlist;
+use crate::observe::{ActivityProfiler, HotCellEntry};
 use crate::stimulus::Stimulus;
+use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
+use std::time::Instant;
 use sushi_cells::{CellLibrary, Ps};
 
 /// Derives the per-item jitter seed from the batch's base seed and the
@@ -115,8 +119,7 @@ impl<'a> BatchRunner<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `sigma_ps` is negative (propagated from
-    /// [`Simulator::with_jitter`]).
+    /// Panics if `sigma_ps` is negative.
     pub fn with_jitter(mut self, base_seed: u64, sigma_ps: Ps) -> Self {
         assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
         self.jitter = Some((base_seed, sigma_ps));
@@ -131,12 +134,12 @@ impl<'a> BatchRunner<'a> {
     fn make_simulator(&self) -> Simulator<'a> {
         let mut sim = Simulator::new(self.netlist, self.library);
         if let Some(limit) = self.event_limit {
-            sim = sim.with_event_limit(limit);
+            sim.set_event_limit(limit);
         }
         if let Some((seed, sigma)) = self.jitter {
             // Per-item reseeding happens in `run_item`; the base seed here
             // only makes the builder state explicit.
-            sim = sim.with_jitter(seed, sigma);
+            sim.set_jitter(seed, sigma);
         }
         sim
     }
@@ -208,6 +211,206 @@ impl<'a> BatchRunner<'a> {
             .enumerate()
             .map(|(i, item)| self.run_item(&mut sim, i, item))
             .collect()
+    }
+
+    /// Runs every item like [`BatchRunner::run`] and additionally collects
+    /// a [`BatchReport`]: per-worker throughput and utilization, aggregate
+    /// violation counts, and the `hot_top_n` busiest cells merged across
+    /// all workers.
+    ///
+    /// The outcomes are bitwise identical to [`BatchRunner::run`] — the
+    /// profiler only listens. Only the report's wall-clock fields are
+    /// non-deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the earliest-indexed item that failed.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a worker thread (none originate in the
+    /// simulator itself).
+    pub fn run_with_report(
+        &self,
+        items: &[Stimulus],
+        hot_top_n: usize,
+    ) -> Result<(Vec<SimOutcome>, BatchReport), SimError> {
+        let t0 = Instant::now();
+        let mut slots: Vec<Option<Result<SimOutcome, SimError>>> = vec![None; items.len()];
+        // Per spawned worker: its activity profile and busy wall time.
+        let mut worker_data: Vec<Option<(ActivityProfiler, f64)>> = Vec::new();
+        let chunk = if self.workers <= 1 || items.len() <= 1 {
+            items.len().max(1)
+        } else {
+            items.len().div_ceil(self.workers)
+        };
+        let run_chunk = |start: usize,
+                         items: &[Stimulus],
+                         out: &mut [Option<Result<SimOutcome, SimError>>],
+                         data: &mut Option<(ActivityProfiler, f64)>| {
+            let w0 = Instant::now();
+            let mut sim = self.make_simulator();
+            sim.attach_observer(ActivityProfiler::new());
+            for (off, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+                *slot = Some(self.run_item(&mut sim, start + off, item));
+            }
+            let profiler = sim
+                .take_observer_as::<ActivityProfiler>()
+                .expect("worker attached a profiler");
+            *data = Some((profiler, w0.elapsed().as_secs_f64()));
+        };
+        if chunk >= items.len() {
+            // One worker covers everything: run on the calling thread.
+            worker_data.push(None);
+            run_chunk(0, items, &mut slots, &mut worker_data[0]);
+        } else {
+            worker_data.resize_with(items.len().div_ceil(chunk), || None);
+            let run_chunk = &run_chunk;
+            crossbeam::thread::scope(|s| {
+                for (ci, ((item_chunk, slot_chunk), data)) in items
+                    .chunks(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .zip(worker_data.iter_mut())
+                    .enumerate()
+                {
+                    s.spawn(move |_| run_chunk(ci * chunk, item_chunk, slot_chunk, data));
+                }
+            })
+            .expect("batch worker panicked");
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot written by its worker"))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut merged = ActivityProfiler::new();
+        let mut workers = Vec::new();
+        for (wi, (chunk_out, data)) in outcomes.chunks(chunk).zip(worker_data).enumerate() {
+            let (profiler, worker_wall_s) = data.expect("worker recorded its profile");
+            merged.merge(&profiler);
+            let events_delivered = chunk_out.iter().map(|o| o.stats.events_delivered).sum();
+            let sim_time_ps = chunk_out.iter().map(|o| o.stats.final_time_ps).sum();
+            let violations = chunk_out.iter().map(|o| o.violations.len() as u64).sum();
+            workers.push(WorkerMetrics {
+                worker: wi,
+                items: chunk_out.len(),
+                events_delivered,
+                sim_time_ps,
+                violations,
+                wall_s: worker_wall_s,
+                items_per_s: if worker_wall_s > 0.0 {
+                    chunk_out.len() as f64 / worker_wall_s
+                } else {
+                    0.0
+                },
+            });
+        }
+        let max_wall = workers.iter().map(|w| w.wall_s).fold(0.0, f64::max);
+        let busy: f64 = workers.iter().map(|w| w.wall_s).sum();
+        let report = BatchReport {
+            items: items.len(),
+            events_delivered: workers.iter().map(|w| w.events_delivered).sum(),
+            sim_time_ps: workers.iter().map(|w| w.sim_time_ps).sum(),
+            violations: workers.iter().map(|w| w.violations).sum(),
+            wall_s,
+            items_per_s: if wall_s > 0.0 {
+                items.len() as f64 / wall_s
+            } else {
+                0.0
+            },
+            utilization: if workers.is_empty() || max_wall <= 0.0 {
+                1.0
+            } else {
+                busy / (workers.len() as f64 * max_wall)
+            },
+            hot_cells: merged.hot_cells(self.netlist, self.library, hot_top_n),
+            workers,
+        };
+        Ok((outcomes, report))
+    }
+}
+
+/// Metrics for one batch worker thread, collected by
+/// [`BatchRunner::run_with_report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerMetrics {
+    /// Worker index (chunk order).
+    pub worker: usize,
+    /// Items this worker simulated.
+    pub items: usize,
+    /// Events delivered across its items.
+    pub events_delivered: u64,
+    /// Simulated time summed over its items, ps.
+    pub sim_time_ps: Ps,
+    /// Violations recorded across its items.
+    pub violations: u64,
+    /// Busy wall time, seconds.
+    pub wall_s: f64,
+    /// Items per wall second.
+    pub items_per_s: f64,
+}
+
+impl WorkerMetrics {
+    /// JSON form of the metrics.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", Json::UInt(self.worker as u64)),
+            ("items", Json::UInt(self.items as u64)),
+            ("events_delivered", Json::UInt(self.events_delivered)),
+            ("sim_time_ps", Json::Num(self.sim_time_ps)),
+            ("violations", Json::UInt(self.violations)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("items_per_s", Json::Num(self.items_per_s)),
+        ])
+    }
+}
+
+/// The aggregate metrics report of one batch run: per-worker throughput,
+/// utilization, violation counts, and the merged hot-cell top-N.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Items simulated.
+    pub items: usize,
+    /// Events delivered across all items.
+    pub events_delivered: u64,
+    /// Simulated time summed over all items, ps.
+    pub sim_time_ps: Ps,
+    /// Violations recorded across all items.
+    pub violations: u64,
+    /// End-to-end wall time, seconds.
+    pub wall_s: f64,
+    /// Items per wall second.
+    pub items_per_s: f64,
+    /// Mean worker busy time over the slowest worker's busy time (1.0 =
+    /// perfectly balanced chunks).
+    pub utilization: f64,
+    /// The busiest cells merged across all workers, hottest first.
+    pub hot_cells: Vec<HotCellEntry>,
+    /// Per-worker breakdown, chunk order.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl BatchReport {
+    /// JSON form of the report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("items", Json::UInt(self.items as u64)),
+            ("events_delivered", Json::UInt(self.events_delivered)),
+            ("sim_time_ps", Json::Num(self.sim_time_ps)),
+            ("violations", Json::UInt(self.violations)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("items_per_s", Json::Num(self.items_per_s)),
+            ("utilization", Json::Num(self.utilization)),
+            (
+                "hot_cells",
+                Json::Arr(self.hot_cells.iter().map(HotCellEntry::to_json).collect()),
+            ),
+            (
+                "workers",
+                Json::Arr(self.workers.iter().map(WorkerMetrics::to_json).collect()),
+            ),
+        ])
     }
 }
 
@@ -346,6 +549,86 @@ mod tests {
         let s1 = item_seed(99, 1);
         assert_ne!(s0, s1);
         assert_eq!(item_seed(99, 1), s1, "pure function of (base, index)");
+    }
+
+    #[test]
+    fn report_run_matches_plain_run_and_counts_everything() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(11);
+        let runner = BatchRunner::new(&n, &l).with_jitter(0xFEED, 1.5);
+        let plain = runner.run(&items).unwrap();
+        for workers in [1, 3, 5] {
+            let (outcomes, report) = runner
+                .clone()
+                .with_workers(workers)
+                .run_with_report(&items, 3)
+                .unwrap();
+            assert_eq!(outcomes, plain, "workers={workers}");
+            assert_eq!(report.items, items.len());
+            let expected_events: u64 = plain.iter().map(|o| o.stats.events_delivered).sum();
+            assert_eq!(report.events_delivered, expected_events);
+            let expected_viol: u64 = plain.iter().map(|o| o.violations.len() as u64).sum();
+            assert_eq!(report.violations, expected_viol);
+            assert_eq!(
+                report.workers.iter().map(|w| w.items).sum::<usize>(),
+                items.len()
+            );
+            assert!(report.hot_cells.len() <= 3);
+            assert!(!report.hot_cells.is_empty());
+            // The confluence buffer sees every splitter pulse plus the
+            // TFF halves — it must lead the hot-cell table.
+            assert_eq!(report.hot_cells[0].label, "cb");
+            assert!(report.utilization > 0.0 && report.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_parsable_json() {
+        let n = small_design();
+        let l = lib();
+        let items = batch(6);
+        let (_, report) = BatchRunner::new(&n, &l)
+            .with_workers(2)
+            .run_with_report(&items, 2)
+            .unwrap();
+        let text = report.to_json().to_string();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("items").unwrap().as_u64(),
+            Some(items.len() as u64)
+        );
+        assert_eq!(
+            parsed.get("events_delivered").unwrap().as_u64(),
+            Some(report.events_delivered)
+        );
+        assert_eq!(
+            parsed.get("hot_cells").unwrap().as_arr().unwrap().len(),
+            report.hot_cells.len()
+        );
+    }
+
+    #[test]
+    fn report_run_propagates_earliest_error() {
+        let n = small_design();
+        let l = lib();
+        let mut items = batch(8);
+        items[3] = StimulusBuilder::new().pulse("nope", 0.0).unwrap().build();
+        let err = BatchRunner::new(&n, &l)
+            .with_workers(4)
+            .run_with_report(&items, 2)
+            .unwrap_err();
+        assert_eq!(err, SimError::UnknownInput("nope".into()));
+    }
+
+    #[test]
+    fn report_run_handles_empty_batch() {
+        let n = small_design();
+        let l = lib();
+        let (outcomes, report) = BatchRunner::new(&n, &l).run_with_report(&[], 4).unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(report.items, 0);
+        assert!(report.hot_cells.is_empty());
     }
 
     #[test]

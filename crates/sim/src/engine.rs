@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::netlist::{CellId, Netlist, PortRef};
+use crate::observe::SimObserver;
 use crate::state::{CellState, LogicalIssue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +49,48 @@ impl Violation {
     /// Formats the violation with the cell's instance label resolved from
     /// `netlist` (which must be the netlist the violation was recorded on).
     pub fn describe(&self, netlist: &Netlist) -> String {
-        format!("{} [{}]", self, netlist.cell(self.cell).label)
+        self.report(netlist).to_string()
+    }
+
+    /// Resolves the violation into a structured [`ViolationReport`] with
+    /// the instance label looked up from `netlist`.
+    pub fn report(&self, netlist: &Netlist) -> ViolationReport {
+        ViolationReport {
+            cell: self.cell,
+            cell_label: netlist.cell(self.cell).label.clone(),
+            kind: self.kind,
+            time: self.time,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// A [`Violation`] resolved against its netlist: structured fields for
+/// programmatic consumers, with a `Display` that keeps the historical
+/// report string (`"... [label]"`), so nobody has to parse text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// The offending cell.
+    pub cell: CellId,
+    /// Its instance label in the netlist.
+    pub cell_label: String,
+    /// Its kind.
+    pub kind: CellKind,
+    /// When the violation occurred (ps).
+    pub time: Ps,
+    /// What went wrong.
+    pub detail: ViolationDetail,
+}
+
+impl fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bare = Violation {
+            cell: self.cell,
+            kind: self.kind,
+            time: self.time,
+            detail: self.detail.clone(),
+        };
+        write!(f, "{} [{}]", bare, self.cell_label)
     }
 }
 
@@ -203,6 +245,9 @@ pub struct Simulator<'a> {
     faults: HashMap<CellId, Fault>,
     /// Fabrication-spread timing jitter. None = nominal timing.
     jitter: Option<Jitter>,
+    /// Optional instrumentation hooks. None = zero-cost (one predictable
+    /// branch per event).
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 /// The dense arrival table of a cell with no pulses delivered yet.
@@ -236,6 +281,7 @@ impl<'a> Simulator<'a> {
             event_limit: DEFAULT_EVENT_LIMIT,
             faults: HashMap::new(),
             jitter: None,
+            observer: None,
         }
     }
 
@@ -247,10 +293,15 @@ impl<'a> Simulator<'a> {
     /// # Panics
     ///
     /// Panics if `sigma_ps` is negative.
+    #[deprecated(note = "use SimConfig::new().jitter(seed, sigma).build(netlist, library)")]
     pub fn with_jitter(mut self, seed: u64, sigma_ps: Ps) -> Self {
+        self.set_jitter(seed, sigma_ps);
+        self
+    }
+
+    pub(crate) fn set_jitter(&mut self, seed: u64, sigma_ps: Ps) {
         assert!(sigma_ps >= 0.0, "jitter sigma must be non-negative");
         self.jitter = Some(Jitter::new(seed, sigma_ps));
-        self
     }
 
     /// Restarts the jitter stream from `seed`, keeping the configured
@@ -265,15 +316,57 @@ impl<'a> Simulator<'a> {
     /// Injects a fabrication defect into `cell` (builder style). Faulty
     /// runs let tests confirm that the waveform-verification flow actually
     /// catches broken chips.
+    #[deprecated(note = "use SimConfig::new().fault(cell, fault).build(netlist, library)")]
     pub fn with_fault(mut self, cell: CellId, fault: Fault) -> Self {
-        self.faults.insert(cell, fault);
+        self.set_fault(cell, fault);
         self
     }
 
+    pub(crate) fn set_fault(&mut self, cell: CellId, fault: Fault) {
+        self.faults.insert(cell, fault);
+    }
+
     /// Overrides the delivered-event budget (builder style).
+    #[deprecated(note = "use SimConfig::new().event_limit(limit).build(netlist, library)")]
     pub fn with_event_limit(mut self, limit: u64) -> Self {
-        self.event_limit = limit;
+        self.set_event_limit(limit);
         self
+    }
+
+    pub(crate) fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    pub(crate) fn set_observer(&mut self, obs: Box<dyn SimObserver>) {
+        self.observer = Some(obs);
+    }
+
+    /// Attaches `obs` to receive engine hooks from now on, replacing any
+    /// previous observer. Usually configured up front via
+    /// [`SimConfig::observer`](crate::SimConfig::observer); this entry
+    /// point exists for instrumenting an already-built simulator.
+    pub fn attach_observer(&mut self, obs: impl SimObserver + 'static) {
+        self.observer = Some(Box::new(obs));
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
+        self.observer.take()
+    }
+
+    /// Detaches the observer and downcasts it to its concrete type.
+    /// Returns `None` when no observer is attached; panics on a type
+    /// mismatch (a programming error, not a run-time condition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attached observer is not a `T`.
+    pub fn take_observer_as<T: SimObserver + 'static>(&mut self) -> Option<T> {
+        let obs = self.observer.take()?;
+        match obs.into_any().downcast::<T>() {
+            Ok(concrete) => Some(*concrete),
+            Err(_) => panic!("attached observer is not a {}", std::any::type_name::<T>()),
+        }
     }
 
     /// Schedules pulses on the named external input.
@@ -295,6 +388,9 @@ impl<'a> Simulator<'a> {
             self.queue.push(Event::new(t, self.seq, target));
             self.seq += 1;
         }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_inject(name, times);
+        }
         Ok(())
     }
 
@@ -304,7 +400,11 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the budget runs out.
     pub fn run_to_completion(&mut self) -> Result<(), SimError> {
-        self.run_until(Ps::INFINITY)
+        self.run_until(Ps::INFINITY)?;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_run_end(&self.stats);
+        }
+        Ok(())
     }
 
     /// Runs while the next event is at or before `deadline` (ps).
@@ -328,6 +428,9 @@ impl<'a> Simulator<'a> {
 
     fn deliver(&mut self, ev: Event) {
         let cell_id = ev.target.cell;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_deliver(cell_id, self.netlist.cell(cell_id).kind, ev.time);
+        }
         if self.faults.get(&cell_id) == Some(&Fault::IgnoreInput) {
             self.stats.events_delivered += 1;
             return;
@@ -340,6 +443,7 @@ impl<'a> Simulator<'a> {
         // Timing-constraint check against the dense per-port arrival table:
         // only rules keyed to the arriving port are inspected, and the
         // breaking arrival time falls out of the same lookup.
+        let vstart = self.violations.len();
         let constraints = self.library.constraints(kind);
         let arr = &mut self.arrivals[cell_id.index()];
         let violations = &mut self.violations;
@@ -366,6 +470,11 @@ impl<'a> Simulator<'a> {
                 detail: ViolationDetail::Logical(issue),
             });
         }
+        if let Some(obs) = self.observer.as_mut() {
+            for v in &self.violations[vstart..] {
+                obs.on_violation(v);
+            }
+        }
         if self.faults.get(&cell_id) == Some(&Fault::DropOutput) {
             return;
         }
@@ -381,6 +490,9 @@ impl<'a> Simulator<'a> {
             self.stats.pulses_emitted += 1;
             let out_ref = PortRef::new(cell_id, out_port);
             let emit_time = ev.time + delay;
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_emit(cell_id, kind, emit_time);
+            }
             let mut consumed = false;
             if let Some(names) = self.probe_lookup.get(&out_ref) {
                 for name in names {
@@ -435,12 +547,13 @@ impl<'a> Simulator<'a> {
         &self.violations
     }
 
-    /// Human-readable reports for every violation, with instance labels
-    /// resolved from the netlist.
-    pub fn violation_reports(&self) -> Vec<String> {
+    /// Structured reports for every violation, with instance labels
+    /// resolved from the netlist. Each report's `Display` keeps the
+    /// historical `"... [label]"` string form.
+    pub fn violation_reports(&self) -> Vec<ViolationReport> {
         self.violations
             .iter()
-            .map(|v| v.describe(self.netlist))
+            .map(|v| v.report(self.netlist))
             .collect()
     }
 
@@ -482,6 +595,9 @@ impl<'a> Simulator<'a> {
     /// event sequence numbers, jitter stream), keeping the netlist and
     /// library, so the same design can be re-run. A reset simulator given
     /// the same stimulus reproduces a fresh simulator's results bitwise.
+    ///
+    /// An attached observer survives the reset and keeps accumulating —
+    /// that is how one profiler can cover every item a batch worker runs.
     pub fn reset(&mut self) {
         self.states = self
             .netlist
@@ -511,6 +627,7 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SimConfig;
     use sushi_cells::CellKind;
     use PortName::*;
 
@@ -637,7 +754,7 @@ mod tests {
     fn event_limit_guards_runaway() {
         let n = simple_chain();
         let l = lib();
-        let mut sim = Simulator::new(&n, &l).with_event_limit(1);
+        let mut sim = SimConfig::new().event_limit(1).build(&n, &l);
         sim.inject("in", &[0.0, 100.0]).unwrap();
         assert_eq!(
             sim.run_to_completion(),
@@ -696,7 +813,7 @@ mod tests {
         let n = simple_chain();
         let l = lib();
         let run = |seed: u64| {
-            let mut sim = Simulator::new(&n, &l).with_jitter(seed, 1.0);
+            let mut sim = SimConfig::new().jitter(seed, 1.0).build(&n, &l);
             sim.inject("in", &[100.0, 500.0, 900.0]).unwrap();
             sim.run_to_completion().unwrap();
             sim.pulses("out").to_vec()
@@ -704,7 +821,7 @@ mod tests {
         assert_eq!(run(7), run(7), "same seed, same waveform");
         assert_ne!(run(7), run(8), "different seed, different arrival times");
         // Small jitter cannot break generous pulse spacing.
-        let mut sim = Simulator::new(&n, &l).with_jitter(7, 1.0);
+        let mut sim = SimConfig::new().jitter(7, 1.0).build(&n, &l);
         sim.inject("in", &[100.0, 500.0, 900.0]).unwrap();
         sim.run_to_completion().unwrap();
         assert!(sim.violations().is_empty());
@@ -717,7 +834,7 @@ mod tests {
         let l = lib();
         // Pulses at the exact safe interval with brutal 15 ps jitter:
         // across many pulses some pair must violate the 19.9 ps rule.
-        let mut sim = Simulator::new(&n, &l).with_jitter(3, 15.0);
+        let mut sim = SimConfig::new().jitter(3, 15.0).build(&n, &l);
         let times: Vec<Ps> = (0..200).map(|i| 100.0 + 40.0 * i as Ps).collect();
         sim.inject("in", &times).unwrap();
         sim.run_to_completion().unwrap();
@@ -732,7 +849,9 @@ mod tests {
         let n = simple_chain();
         let l = lib();
         // Fault the JTL (cell index 1): pulses reach it but never leave.
-        let mut sim = Simulator::new(&n, &l).with_fault(CellId(1), Fault::DropOutput);
+        let mut sim = SimConfig::new()
+            .fault(CellId(1), Fault::DropOutput)
+            .build(&n, &l);
         sim.inject("in", &[100.0, 200.0]).unwrap();
         sim.run_to_completion().unwrap();
         assert!(sim.pulses("out").is_empty());
@@ -747,7 +866,7 @@ mod tests {
         n.add_input("in", t, Din).unwrap();
         n.probe("out", t, Dout).unwrap();
         let l = lib();
-        let mut sim = Simulator::new(&n, &l).with_fault(t, Fault::IgnoreInput);
+        let mut sim = SimConfig::new().fault(t, Fault::IgnoreInput).build(&n, &l);
         sim.inject("in", &[100.0, 200.0, 300.0]).unwrap();
         sim.run_to_completion().unwrap();
         assert!(sim.pulses("out").is_empty());
@@ -770,10 +889,16 @@ mod tests {
         assert!(msg.contains("c0"), "{msg}");
         assert!(msg.contains("dcsfq"), "{msg}");
         assert!(msg.contains("violated"), "{msg}");
-        // Reports resolve the instance label from the netlist.
+        // Reports resolve the instance label from the netlist, keep the
+        // structured fields, and Display the historical string form.
         let reports = sim.violation_reports();
         assert_eq!(reports.len(), sim.violations().len());
-        assert!(reports[0].contains("[src]"), "{}", reports[0]);
+        assert_eq!(reports[0].cell_label, "src");
+        assert_eq!(reports[0].cell, sim.violations()[0].cell);
+        assert_eq!(reports[0].detail, sim.violations()[0].detail);
+        let text = reports[0].to_string();
+        assert!(text.contains("[src]"), "{text}");
+        assert_eq!(text, sim.violations()[0].describe(&n));
     }
 
     /// Satellite regression: `reset()` must rewind the event sequence
@@ -794,11 +919,15 @@ mod tests {
         let l = lib();
         let times: Vec<Ps> = (0..40).map(|i| 100.0 + 40.0 * i as Ps).collect();
 
-        let run_fresh = |jitter: Option<(u64, Ps)>| {
-            let mut sim = Simulator::new(&n, &l);
+        let config = |jitter: Option<(u64, Ps)>| {
+            let mut c = SimConfig::new();
             if let Some((seed, sigma)) = jitter {
-                sim = sim.with_jitter(seed, sigma);
+                c = c.jitter(seed, sigma);
             }
+            c
+        };
+        let run_fresh = |jitter: Option<(u64, Ps)>| {
+            let mut sim = config(jitter).build(&n, &l);
             sim.inject("in", &times).unwrap();
             sim.run_to_completion().unwrap();
             sim.take_outcome()
@@ -806,10 +935,7 @@ mod tests {
 
         for jitter in [None, Some((42, 3.0))] {
             let fresh = run_fresh(jitter);
-            let mut sim = Simulator::new(&n, &l);
-            if let Some((seed, sigma)) = jitter {
-                sim = sim.with_jitter(seed, sigma);
-            }
+            let mut sim = config(jitter).build(&n, &l);
             // Dirty the simulator with a different run, then reset.
             sim.inject("in", &[100.0, 101.0, 102.0]).unwrap();
             sim.run_to_completion().unwrap();
@@ -818,5 +944,29 @@ mod tests {
             sim.run_to_completion().unwrap();
             assert_eq!(sim.take_outcome(), fresh, "jitter={jitter:?}");
         }
+    }
+
+    /// The deprecated `with_*` builder chain (kept one PR as a migration
+    /// shim) still produces the same simulator as [`SimConfig`].
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_chain_matches_sim_config() {
+        let n = simple_chain();
+        let l = lib();
+        let times: Vec<Ps> = (0..20).map(|i| 100.0 + 40.0 * i as Ps).collect();
+        let mut old = Simulator::new(&n, &l)
+            .with_jitter(5, 2.0)
+            .with_fault(CellId(1), Fault::DropOutput)
+            .with_event_limit(1_000);
+        old.inject("in", &times).unwrap();
+        old.run_to_completion().unwrap();
+        let mut new = SimConfig::new()
+            .jitter(5, 2.0)
+            .fault(CellId(1), Fault::DropOutput)
+            .event_limit(1_000)
+            .build(&n, &l);
+        new.inject("in", &times).unwrap();
+        new.run_to_completion().unwrap();
+        assert_eq!(old.take_outcome(), new.take_outcome());
     }
 }

@@ -35,16 +35,25 @@
 //! ```
 
 pub mod batch;
+pub mod config;
 pub mod engine;
 pub mod event;
+pub mod json;
 pub mod netlist;
+pub mod observe;
 pub mod state;
 pub mod stimulus;
 pub mod vcd;
 pub mod waveform;
 
-pub use batch::BatchRunner;
-pub use engine::{Fault, SimError, SimOutcome, SimStats, Simulator, Violation};
+pub use batch::{BatchReport, BatchRunner, WorkerMetrics};
+pub use config::{EvalOptions, SimConfig};
+pub use engine::{Fault, SimError, SimOutcome, SimStats, Simulator, Violation, ViolationReport};
+pub use json::{Json, JsonError};
 pub use netlist::{CellId, Netlist, NetlistError, PortRef};
+pub use observe::{
+    ActivityProfiler, CellActivity, HotCellEntry, RingTracer, SimObserver, ThroughputMeter,
+    TraceEvent, TraceKind,
+};
 pub use stimulus::{Stimulus, StimulusBuilder};
 pub use waveform::{levels_from_pulses, render_pulse_rows, LevelTrace, PulseTrain};

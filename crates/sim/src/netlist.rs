@@ -19,6 +19,13 @@ impl CellId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a cell id from a raw index (e.g. one read back from a
+    /// serialized fault list or activity report). The id is only
+    /// meaningful against the netlist it originally came from.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
 }
 
 impl fmt::Display for CellId {

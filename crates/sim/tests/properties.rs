@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
-use sushi_sim::{levels_from_pulses, BatchRunner, Netlist, PulseTrain, Simulator, StimulusBuilder};
+use sushi_sim::{levels_from_pulses, BatchRunner, Netlist, PulseTrain, SimConfig, StimulusBuilder};
 
 /// Strategy: a monotonically increasing pulse train with safe spacing.
 fn safe_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
@@ -32,7 +32,7 @@ proptest! {
         }
         n.probe("out", prev.0, prev.1).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject("in", &pulses).unwrap();
         sim.run_to_completion().unwrap();
         // TFFL emits on every odd input pulse (1st, 3rd, ...): ceil(n/2) per stage.
@@ -58,7 +58,7 @@ proptest! {
         n.connect_with_delay(spl, PortName::DoutB, cb, PortName::DinB, 10.0).unwrap();
         n.probe("out", cb, PortName::Dout).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject("in", &pulses).unwrap();
         sim.run_to_completion().unwrap();
         prop_assert_eq!(sim.pulses("out").len(), 2 * pulses.len());
@@ -89,7 +89,7 @@ proptest! {
         }
         n.probe("out", prev.0, prev.1).unwrap();
         let lib = CellLibrary::nb03();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject("in", &pulses).unwrap();
         sim.run_to_completion().unwrap();
         prop_assert!(sim.violations().is_empty());
@@ -151,6 +151,49 @@ proptest! {
         for workers in [1usize, 2, 4] {
             let got = runner.clone().with_workers(workers).run(&items).unwrap();
             prop_assert_eq!(&got, &reference, "workers={}", workers);
+        }
+    }
+
+    /// Instrumentation is invisible to results: the observer-attached
+    /// reporting path produces outcomes bitwise identical to the plain
+    /// run for any worker count, and its profiler totals are consistent
+    /// with the outcomes it observed.
+    #[test]
+    fn observed_batch_runs_are_bitwise_identical_to_plain_runs(
+        trains in prop::collection::vec(safe_train(10), 1..7),
+        jittered: bool,
+    ) {
+        let mut n = Netlist::new();
+        let src = n.add_cell(CellKind::DcSfq, "src");
+        let tff = n.add_cell(CellKind::Tffl, "tff");
+        n.add_input("in", src, PortName::Din).unwrap();
+        n.connect(src, PortName::Dout, tff, PortName::Din).unwrap();
+        n.probe("out", tff, PortName::Dout).unwrap();
+        let lib = CellLibrary::nb03();
+
+        let items: Vec<_> = trains
+            .iter()
+            .map(|train| {
+                let mut b = StimulusBuilder::new();
+                for &t in train {
+                    b = b.pulse("in", t).unwrap();
+                }
+                b.build()
+            })
+            .collect();
+
+        let mut runner = BatchRunner::new(&n, &lib);
+        if jittered {
+            runner = runner.with_jitter(0x0B5E6, 1.0);
+        }
+        let plain = runner.run(&items).unwrap();
+        for workers in [1usize, 2, 4] {
+            let r = runner.clone().with_workers(workers);
+            let (observed, report) = r.run_with_report(&items, 4).unwrap();
+            prop_assert_eq!(&observed, &plain, "workers={}", workers);
+            let delivered: u64 = plain.iter().map(|o| o.stats.events_delivered).sum();
+            prop_assert_eq!(report.events_delivered, delivered);
+            prop_assert_eq!(report.items, items.len());
         }
     }
 }

@@ -12,7 +12,7 @@
 use sushi_cells::{CellKind, CellLibrary, PortName};
 use sushi_core::CellAccurateChip;
 use sushi_sim::vcd::VcdBuilder;
-use sushi_sim::{Fault, Netlist, Simulator};
+use sushi_sim::{Fault, Netlist, RingTracer, SimConfig};
 use sushi_ssnn::binarize::BinaryLayer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,11 +70,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     n.connect(ports.out.cell, ports.out.port, pad, PortName::Din)?;
     n.probe("dc_level", pad, PortName::Dout)?;
     let lib = CellLibrary::nb03();
-    let mut sim = Simulator::new(&n, &lib);
+    let mut sim = SimConfig::new()
+        .observer(RingTracer::new(64))
+        .build(&n, &lib);
     sim.inject("set1", &[0.0])?;
     sim.inject("in", &[200.0, 400.0, 600.0, 800.0])?;
     sim.run_to_completion()?;
     let vcd = VcdBuilder::new("sushi_sc").from_simulator(&sim).render();
     println!("\n--- VCD export (load in GTKWave) ---\n{vcd}");
+
+    // --- The same run, seen through the event tracer -----------------
+    let tracer: RingTracer = sim.take_observer_as().expect("tracer attached above");
+    println!(
+        "--- last {} of {} traced events (ring capacity {}) ---",
+        tracer.len().min(5),
+        tracer.len() + tracer.dropped() as usize,
+        tracer.capacity()
+    );
+    let events: Vec<_> = tracer.events().collect();
+    for ev in events.iter().skip(events.len().saturating_sub(5)) {
+        println!("  t={:7.1} ps  {:?}", ev.time, ev.what);
+    }
     Ok(())
 }

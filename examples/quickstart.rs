@@ -10,7 +10,7 @@ use sushi_arch::state_controller::ScNetlist;
 use sushi_arch::NpeChain;
 use sushi_cells::CellLibrary;
 use sushi_core::SushiChip;
-use sushi_sim::{Netlist, Simulator};
+use sushi_sim::{EvalOptions, Netlist, SimConfig};
 use sushi_snn::data::synth_digits;
 use sushi_snn::train::{TrainConfig, Trainer};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     netlist.add_input("set1", sc.set1.cell, sc.set1.port)?;
     netlist.probe("out", sc.out.cell, sc.out.port)?;
     let library = CellLibrary::nb03();
-    let mut sim = Simulator::new(&netlist, &library);
+    let mut sim = SimConfig::new().build(&netlist, &library);
     sim.inject("set1", &[0.0])?; // gate the 1 -> 0 flip
     sim.inject("in", &[200.0, 400.0, 600.0, 800.0])?;
     sim.run_to_completion()?;
@@ -54,13 +54,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chip.design().resources().total_jj(),
         program.schedule.len()
     );
-    let eval = chip.evaluate(&program, &test);
+    let eval = chip.evaluate(&program, &test, &EvalOptions::new().report(true));
     println!(
         "chip accuracy on {} test samples: {:.1}% (reload share {:.1}%)",
         test.len(),
         eval.accuracy * 100.0,
         eval.reload.reload_share() * 100.0
     );
+    if let Some(report) = &eval.report {
+        println!(
+            "evaluated at {:.0} samples/s across {} workers ({:.0}% utilization)",
+            report.samples_per_s,
+            report.workers.len(),
+            report.utilization * 100.0
+        );
+    }
     let outcome = chip.run_sample(&program, &test.images[0], 0);
     println!(
         "sample 0: predicted {} (true {}), spike counts {:?}",

@@ -10,7 +10,19 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (deny rustdoc warnings)"
+# Only the sushi crates: vendor/ stand-ins are out of scope for the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p sushi-cells -p sushi-sim -p sushi-arch -p sushi-snn -p sushi-ssnn \
+  -p sushi-core -p sushi-bench
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> bench metrics smoke run"
+# Capture, then grep: grep -q on a pipe would close it early and the
+# binary's println! would die on SIGPIPE.
+bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
+grep -q "hot cells:" <<<"$bench_out"
 
 echo "All checks passed."

@@ -8,7 +8,7 @@ use sushi_arch::npe::{NpeChain, NpeNetlist};
 use sushi_arch::state_controller::{ScBehavior, ScNetlist};
 use sushi_cells::{CellLibrary, Ps};
 use sushi_core::CellAccurateChip;
-use sushi_sim::{Netlist, Simulator};
+use sushi_sim::{Netlist, SimConfig};
 use sushi_ssnn::binarize::BinaryLayer;
 
 /// Random pulse trains through a cell-level SC match the behavioural SC
@@ -38,7 +38,7 @@ fn state_controller_agrees_under_random_stimulus() {
         n.add_input("set1", ports.set1.cell, ports.set1.port)
             .unwrap();
         n.probe("out", ports.out.cell, ports.out.port).unwrap();
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         sim.inject(if rise_mode { "set0" } else { "set1" }, &[0.0])
             .unwrap();
         let times: Vec<Ps> = (0..pulses).map(|i| 500.0 + 300.0 * i as Ps).collect();
@@ -79,7 +79,7 @@ fn npe_chain_agrees_under_random_programs() {
             n.add_input(format!("write_{i}"), sc.write.cell, sc.write.port)
                 .unwrap();
         }
-        let mut sim = Simulator::new(&n, &lib);
+        let mut sim = SimConfig::new().build(&n, &lib);
         let preload = (1u64 << k) - threshold;
         for i in 0..k {
             if (preload >> i) & 1 == 1 {
@@ -156,12 +156,12 @@ fn unrolled_convolution_runs_on_the_cell_accurate_chip() {
 #[test]
 fn tree_chip_counts_broadcast_pulses() {
     use sushi_arch::ChipConfig;
-    use sushi_sim::Simulator;
+    use sushi_sim::SimConfig;
     let lib = CellLibrary::nb03();
     let design = ChipConfig::tree(3).with_sc_per_npe(3).build();
     let cn = design.build_netlist().unwrap();
     for threshold in [1u64, 2, 3] {
-        let mut sim = Simulator::new(&cn.netlist, &lib);
+        let mut sim = SimConfig::new().build(&cn.netlist, &lib);
         // Preload both NPE counters to 8 - threshold while disabled.
         let preload = 8 - threshold;
         for j in 0..3 {
@@ -199,7 +199,7 @@ fn chip_netlist_has_no_unexpected_dangling_inputs() {
     let lib = CellLibrary::nb03();
     let design = sushi_arch::ChipConfig::mesh(2).with_sc_per_npe(3).build();
     let netlist = design.build_netlist().unwrap().netlist;
-    let _sim = Simulator::new(&netlist, &lib);
+    let _sim = SimConfig::new().build(&netlist, &lib);
     // Undriven inputs must all be registered control channels (they are
     // reachable via named external inputs), not floating cell ports.
     for dangling in netlist.undriven_inputs() {

@@ -1,6 +1,7 @@
 //! End-to-end integration: train -> binarize -> bucket -> slice -> chip.
 
 use sushi_core::SushiChip;
+use sushi_sim::EvalOptions;
 use sushi_snn::data::{synth_digits, synth_fashion};
 use sushi_snn::metrics::consistency;
 use sushi_snn::train::{TrainConfig, Trainer};
@@ -28,7 +29,7 @@ fn digits_pipeline_reaches_table3_shape() {
 
     let program = Compiler::new(CompilerConfig::paper()).compile(&model);
     let chip = SushiChip::paper();
-    let eval = chip.evaluate(&program, &test);
+    let eval = chip.evaluate(&program, &test, &EvalOptions::default());
 
     assert!(float_acc > 0.85, "reference accuracy {float_acc}");
     assert!(eval.accuracy > 0.80, "chip accuracy {}", eval.accuracy);
@@ -50,7 +51,10 @@ fn fashion_is_harder_than_digits() {
         let (train, test) = data.split(0.8);
         let model = Trainer::new(quick_cfg()).fit(&train);
         let program = Compiler::new(CompilerConfig::paper()).compile(&model);
-        accs.push(chip.evaluate(&program, &test).accuracy);
+        accs.push(
+            chip.evaluate(&program, &test, &EvalOptions::default())
+                .accuracy,
+        );
     }
     assert!(
         accs[0] > accs[1],
@@ -114,8 +118,8 @@ fn full_pipeline_is_deterministic() {
     let p2 = Compiler::new(CompilerConfig::paper()).compile(&m2);
     assert_eq!(p1, p2);
     let chip = SushiChip::paper();
-    let e1 = chip.evaluate(&p1, &data);
-    let e2 = chip.evaluate(&p2, &data);
+    let e1 = chip.evaluate(&p1, &data, &EvalOptions::default());
+    let e2 = chip.evaluate(&p2, &data, &EvalOptions::default());
     assert_eq!(e1.predictions, e2.predictions);
 }
 
@@ -128,9 +132,9 @@ fn parallel_evaluation_matches_sequential_on_fixed_slice() {
     let model = Trainer::new(quick_cfg()).fit(&data);
     let program = Compiler::new(CompilerConfig::paper()).compile(&model);
     let chip = SushiChip::paper();
-    let sequential = chip.evaluate_with_workers(&program, &data, 1);
+    let sequential = chip.evaluate(&program, &data, &EvalOptions::new().workers(1));
     for workers in [2, 3, 4, 8] {
-        let parallel = chip.evaluate_with_workers(&program, &data, workers);
+        let parallel = chip.evaluate(&program, &data, &EvalOptions::new().workers(workers));
         assert_eq!(parallel, sequential, "workers={workers}");
     }
 }

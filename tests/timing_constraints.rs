@@ -5,7 +5,7 @@
 use sushi_cells::timing::SAFE_INTERVAL_PS;
 use sushi_cells::{CellKind, CellLibrary, PortName};
 use sushi_core::CellAccurateChip;
-use sushi_sim::{Netlist, Simulator, StimulusBuilder};
+use sushi_sim::{Netlist, SimConfig, StimulusBuilder};
 use sushi_ssnn::binarize::BinaryLayer;
 use sushi_ssnn::bitslice::Slice;
 use sushi_ssnn::encode::encode_slice_step;
@@ -48,7 +48,7 @@ fn runtime_checker_reports_ndro_rule() {
     n.add_input("din", nd, PortName::Din).unwrap();
     n.add_input("clk", nd, PortName::Clk).unwrap();
     n.probe("q", nd, PortName::Dout).unwrap();
-    let mut sim = Simulator::new(&n, &lib);
+    let mut sim = SimConfig::new().build(&n, &lib);
     // din -> clk needs 14.81 ps; give it 5.
     sim.inject("din", &[100.0]).unwrap();
     sim.inject("clk", &[105.0]).unwrap();
@@ -77,7 +77,7 @@ fn safe_interval_is_safe_through_mixed_cells() {
     n.connect(tff, PortName::Dout, cb, PortName::DinB).unwrap();
     n.add_input("in", src, PortName::Din).unwrap();
     n.probe("out", cb, PortName::Dout).unwrap();
-    let mut sim = Simulator::new(&n, &lib);
+    let mut sim = SimConfig::new().build(&n, &lib);
     let stim = StimulusBuilder::with_min_interval(SAFE_INTERVAL_PS)
         .burst("in", 0.0, 20)
         .unwrap()
