@@ -60,6 +60,16 @@ impl CellKind {
         CellKind::SfqDc,
     ];
 
+    /// Number of distinct cell kinds (the length of [`CellKind::ALL`]).
+    pub const COUNT: usize = 11;
+
+    /// Dense 0-based index of this kind (its position in [`CellKind::ALL`]),
+    /// for array-indexed per-kind tables on the simulator hot path.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The input ports of this cell kind.
     pub fn inputs(self) -> &'static [PortName] {
         use PortName::*;
@@ -290,6 +300,14 @@ mod tests {
         assert_eq!(PortName::ALL.len(), PortName::COUNT);
         for (i, p) in PortName::ALL.iter().enumerate() {
             assert_eq!(p.index(), i, "{p}");
+        }
+    }
+
+    #[test]
+    fn kind_index_matches_position_in_all() {
+        assert_eq!(CellKind::ALL.len(), CellKind::COUNT);
+        for (i, k) in CellKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "{k}");
         }
     }
 

@@ -227,17 +227,6 @@ impl SushiChip {
         }
     }
 
-    /// Evaluates on exactly `workers` threads.
-    #[deprecated(note = "use evaluate(program, data, &EvalOptions::new().workers(n))")]
-    pub fn evaluate_with_workers(
-        &self,
-        program: &ChipProgram,
-        data: &Dataset,
-        workers: usize,
-    ) -> ChipEvaluation {
-        self.evaluate(program, data, &EvalOptions::new().workers(workers.max(1)))
-    }
-
     /// Estimated sustained frames per second for `program` on this chip,
     /// combining the peak synaptic rate, the reload share and the
     /// program's actual slice utilization.
@@ -335,18 +324,6 @@ mod tests {
             chip.evaluate(&program, &data, &EvalOptions::default()),
             reference
         );
-    }
-
-    /// The deprecated worker-count entry point still matches the new API.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_evaluate_with_workers_matches_eval_options() {
-        let (program, _) = tiny_program();
-        let chip = SushiChip::paper();
-        let data = synth_digits(12, 4);
-        let via_opts = chip.evaluate(&program, &data, &EvalOptions::new().workers(3));
-        let via_shim = chip.evaluate_with_workers(&program, &data, 3);
-        assert_eq!(via_shim, via_opts);
     }
 
     /// Requesting a report fills it in with per-worker metrics that add up.

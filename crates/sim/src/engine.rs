@@ -1,15 +1,23 @@
 //! The discrete-event simulation engine.
+//!
+//! The hot path (`deliver`) is deliberately map-free: cell kinds, wires,
+//! per-kind delays/constraints, probe fan-outs and faults are all resolved
+//! into dense index-keyed tables at [`Simulator::new`], and the pending
+//! events live in a [`CalendarQueue`] rather than a binary heap. See
+//! DESIGN.md ("Event-engine hot path") for the layout and the determinism
+//! argument.
 
 use crate::event::Event;
-use crate::netlist::{CellId, Netlist, PortRef};
+use crate::netlist::{CellId, Netlist, PortRef, Wire};
 use crate::observe::SimObserver;
+use crate::queue::CalendarQueue;
 use crate::state::{CellState, LogicalIssue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
-use sushi_cells::{CellKind, CellLibrary, Constraint, PortName, Ps};
+use sushi_cells::{CellKind, CellLibrary, Constraint, ConstraintTable, PortName, Ps};
 
 /// Default ceiling on delivered events, guarding against runaway feedback.
 pub const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
@@ -43,6 +51,29 @@ pub enum ViolationDetail {
     },
     /// A behavioural-model issue (e.g. DFF overwrite).
     Logical(LogicalIssue),
+}
+
+impl ViolationDetail {
+    /// Shared `Display` body for [`Violation`] and [`ViolationReport`]:
+    /// formats the `t=...` line for a violation of this detail at `time`
+    /// on `cell` of `kind`.
+    fn fmt_at(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        cell: CellId,
+        kind: CellKind,
+        time: Ps,
+    ) -> fmt::Result {
+        match self {
+            ViolationDetail::Timing { rule, prev_time } => write!(
+                f,
+                "t={time:.2}ps {cell} ({kind}): {rule} violated (prev pulse at {prev_time:.2}ps)"
+            ),
+            ViolationDetail::Logical(issue) => {
+                write!(f, "t={time:.2}ps {cell} ({kind}): {issue}")
+            }
+        }
+    }
 }
 
 impl Violation {
@@ -84,32 +115,14 @@ pub struct ViolationReport {
 
 impl fmt::Display for ViolationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let bare = Violation {
-            cell: self.cell,
-            kind: self.kind,
-            time: self.time,
-            detail: self.detail.clone(),
-        };
-        write!(f, "{} [{}]", bare, self.cell_label)
+        self.detail.fmt_at(f, self.cell, self.kind, self.time)?;
+        write!(f, " [{}]", self.cell_label)
     }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.detail {
-            ViolationDetail::Timing { rule, prev_time } => write!(
-                f,
-                "t={:.2}ps {} ({}): {} violated (prev pulse at {:.2}ps)",
-                self.time, self.cell, self.kind, rule, prev_time
-            ),
-            ViolationDetail::Logical(issue) => {
-                write!(
-                    f,
-                    "t={:.2}ps {} ({}): {}",
-                    self.time, self.cell, self.kind, issue
-                )
-            }
-        }
+        self.detail.fmt_at(f, self.cell, self.kind, self.time)
     }
 }
 
@@ -142,6 +155,38 @@ impl SimStats {
     /// Total switching events across all kinds.
     pub fn total_switch_events(&self) -> u64 {
         self.switch_events.values().sum()
+    }
+}
+
+/// The engine's internal statistics counters: plain integers plus a dense
+/// per-kind switch array, materialized into the map-keyed [`SimStats`]
+/// only at the API boundary (`stats()`/`take_outcome`).
+#[derive(Debug, Clone, Default)]
+struct RawStats {
+    events_delivered: u64,
+    pulses_emitted: u64,
+    pulses_dropped: u64,
+    switch_counts: [u64; CellKind::COUNT],
+    final_time_ps: Ps,
+}
+
+impl RawStats {
+    fn materialize(&self) -> SimStats {
+        SimStats {
+            events_delivered: self.events_delivered,
+            pulses_emitted: self.pulses_emitted,
+            pulses_dropped: self.pulses_dropped,
+            // Only kinds that actually switched appear, matching the old
+            // `entry(kind).or_insert(0)` behaviour.
+            switch_events: CellKind::ALL
+                .iter()
+                .filter_map(|&k| {
+                    let n = self.switch_counts[k.index()];
+                    (n > 0).then_some((k, n))
+                })
+                .collect(),
+            final_time_ps: self.final_time_ps,
+        }
     }
 }
 
@@ -230,21 +275,46 @@ impl SimOutcome {
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
-    library: &'a CellLibrary,
     states: Vec<CellState>,
     /// Most recent pulse-arrival time per cell, indexed by
     /// [`PortName::index`]; `NEG_INFINITY` = no pulse yet.
     arrivals: Vec<[Ps; PortName::COUNT]>,
-    queue: BinaryHeap<Event>,
+    queue: CalendarQueue,
     seq: u64,
-    traces: BTreeMap<String, Vec<Ps>>,
-    probe_lookup: HashMap<PortRef, Vec<String>>,
+
+    // Dense construction-time tables; `deliver` never touches a map.
+    /// Cell kind per cell index.
+    kinds: Vec<CellKind>,
+    /// Constraint table per [`CellKind::index`].
+    constraint_tabs: [&'a ConstraintTable; CellKind::COUNT],
+    /// Nominal propagation delay per [`CellKind::index`].
+    delay_by_kind: [Ps; CellKind::COUNT],
+    /// Outgoing wire per flat output-port slot
+    /// (`cell.index() * PortName::COUNT + port.index()`).
+    wire_to: Vec<Option<Wire>>,
+    /// CSR offsets into `probe_ids` per flat output-port slot
+    /// (`len == slots + 1`).
+    probe_offsets: Vec<u32>,
+    /// Probe ids (indices into `probe_names`/`probe_traces`) watching each
+    /// slot, flattened.
+    probe_ids: Vec<u32>,
+    /// Probe names sorted ascending; a probe's id is its position here.
+    probe_names: Vec<String>,
+
+    /// Recorded pulse times per probe id; names resolve only at the API
+    /// boundary (`pulses`/`traces`/`take_outcome`).
+    probe_traces: Vec<Vec<Ps>>,
     violations: Vec<Violation>,
-    stats: SimStats,
+    raw: RawStats,
     event_limit: u64,
-    faults: HashMap<CellId, Fault>,
+    /// Injected fabrication defects per cell index.
+    faults: Vec<Option<Fault>>,
     /// Fabrication-spread timing jitter. None = nominal timing.
     jitter: Option<Jitter>,
+    /// True between the first `inject` of a run and the moment the queue
+    /// drains inside `run_until` — the window in which `on_run_end` fires
+    /// exactly once.
+    run_active: bool,
     /// Optional instrumentation hooks. None = zero-cost (one predictable
     /// branch per event).
     observer: Option<Box<dyn SimObserver>>,
@@ -253,50 +323,72 @@ pub struct Simulator<'a> {
 /// The dense arrival table of a cell with no pulses delivered yet.
 const NO_ARRIVALS: [Ps; PortName::COUNT] = [Ps::NEG_INFINITY; PortName::COUNT];
 
+/// Flat index of `(cell, port)` in the per-output-port tables.
+#[inline]
+fn slot(port_ref: PortRef) -> usize {
+    port_ref.cell.index() * PortName::COUNT + port_ref.port.index()
+}
+
 impl<'a> Simulator<'a> {
     /// Creates a simulator for `netlist` with cell delays and constraints
-    /// taken from `library`.
+    /// taken from `library`. All per-event lookups (kind, wire, delay,
+    /// constraints, probes, faults) are resolved into dense index-keyed
+    /// tables here, once.
     pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Self {
+        let cell_count = netlist.cell_count();
+        let slots = cell_count * PortName::COUNT;
+
         let states = netlist
             .cells()
             .map(|(_, c)| CellState::initial(c.kind))
             .collect();
-        let mut probe_lookup: HashMap<PortRef, Vec<String>> = HashMap::new();
-        let mut traces = BTreeMap::new();
-        for (name, &port_ref) in netlist.probes() {
-            probe_lookup.entry(port_ref).or_default().push(name.clone());
-            traces.insert(name.clone(), Vec::new());
+        let kinds: Vec<CellKind> = netlist.cells().map(|(_, c)| c.kind).collect();
+        let constraint_tabs = CellKind::ALL.map(|k| library.constraints(k));
+        let delay_by_kind = CellKind::ALL.map(|k| library.params(k).delay_ps);
+
+        let mut wire_to = vec![None; slots];
+        for (from, wire) in netlist.wires() {
+            wire_to[slot(from)] = Some(*wire);
         }
+
+        // Probe ids follow the BTreeMap's ascending name order, so
+        // `probe_names` is sorted and name lookup is a binary search.
+        let mut probe_names = Vec::with_capacity(netlist.probes().len());
+        let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); slots];
+        for (pid, (name, &port_ref)) in netlist.probes().iter().enumerate() {
+            probe_names.push(name.clone());
+            watchers[slot(port_ref)].push(pid as u32);
+        }
+        let mut probe_offsets = Vec::with_capacity(slots + 1);
+        let mut probe_ids = Vec::with_capacity(probe_names.len());
+        probe_offsets.push(0);
+        for w in &watchers {
+            probe_ids.extend_from_slice(w);
+            probe_offsets.push(probe_ids.len() as u32);
+        }
+
         Self {
             netlist,
-            library,
             states,
-            arrivals: vec![NO_ARRIVALS; netlist.cell_count()],
-            queue: BinaryHeap::new(),
+            arrivals: vec![NO_ARRIVALS; cell_count],
+            queue: CalendarQueue::new(),
             seq: 0,
-            traces,
-            probe_lookup,
+            kinds,
+            constraint_tabs,
+            delay_by_kind,
+            wire_to,
+            probe_offsets,
+            probe_ids,
+            probe_traces: vec![Vec::new(); probe_names.len()],
+            probe_names,
             violations: Vec::new(),
-            stats: SimStats::default(),
+            raw: RawStats::default(),
             event_limit: DEFAULT_EVENT_LIMIT,
-            faults: HashMap::new(),
+            faults: vec![None; cell_count],
             jitter: None,
+            run_active: false,
             observer: None,
         }
-    }
-
-    /// Adds deterministic Gaussian timing jitter with standard deviation
-    /// `sigma_ps` to every cell propagation delay (builder style). Models
-    /// fabrication spread in junction critical currents; the constraint
-    /// checker then reports whether the design's margins absorb it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sigma_ps` is negative.
-    #[deprecated(note = "use SimConfig::new().jitter(seed, sigma).build(netlist, library)")]
-    pub fn with_jitter(mut self, seed: u64, sigma_ps: Ps) -> Self {
-        self.set_jitter(seed, sigma_ps);
-        self
     }
 
     pub(crate) fn set_jitter(&mut self, seed: u64, sigma_ps: Ps) {
@@ -313,24 +405,12 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Injects a fabrication defect into `cell` (builder style). Faulty
-    /// runs let tests confirm that the waveform-verification flow actually
-    /// catches broken chips.
-    #[deprecated(note = "use SimConfig::new().fault(cell, fault).build(netlist, library)")]
-    pub fn with_fault(mut self, cell: CellId, fault: Fault) -> Self {
-        self.set_fault(cell, fault);
-        self
-    }
-
     pub(crate) fn set_fault(&mut self, cell: CellId, fault: Fault) {
-        self.faults.insert(cell, fault);
-    }
-
-    /// Overrides the delivered-event budget (builder style).
-    #[deprecated(note = "use SimConfig::new().event_limit(limit).build(netlist, library)")]
-    pub fn with_event_limit(mut self, limit: u64) -> Self {
-        self.set_event_limit(limit);
-        self
+        // Ids from another netlist never match a delivered event, so (as
+        // with the old map-keyed fault set) storing them is a silent no-op.
+        if let Some(f) = self.faults.get_mut(cell.index()) {
+            *f = Some(fault);
+        }
     }
 
     pub(crate) fn set_event_limit(&mut self, limit: u64) {
@@ -388,6 +468,7 @@ impl<'a> Simulator<'a> {
             self.queue.push(Event::new(t, self.seq, target));
             self.seq += 1;
         }
+        self.run_active = true;
         if let Some(obs) = self.observer.as_mut() {
             obs.on_inject(name, times);
         }
@@ -400,52 +481,61 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the budget runs out.
     pub fn run_to_completion(&mut self) -> Result<(), SimError> {
-        self.run_until(Ps::INFINITY)?;
-        if let Some(obs) = self.observer.as_mut() {
-            obs.on_run_end(&self.stats);
-        }
-        Ok(())
+        self.run_until(Ps::INFINITY)
     }
 
     /// Runs while the next event is at or before `deadline` (ps).
+    ///
+    /// When the queue drains (whichever of `run_until` /
+    /// [`Simulator::run_to_completion`] got it there), the observer's
+    /// `on_run_end` hook fires exactly once per injected run; calling
+    /// either method again without new stimulus does not re-fire it.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::EventLimitExceeded`] if the budget runs out.
     pub fn run_until(&mut self, deadline: Ps) -> Result<(), SimError> {
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
                 break;
             }
-            if self.stats.events_delivered >= self.event_limit {
+            if self.raw.events_delivered >= self.event_limit {
                 return Err(SimError::EventLimitExceeded(self.event_limit));
             }
             let ev = self.queue.pop().expect("peeked event exists");
             self.deliver(ev);
+        }
+        if self.run_active && self.queue.is_empty() {
+            self.run_active = false;
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_run_end(&self.raw.materialize());
+            }
         }
         Ok(())
     }
 
     fn deliver(&mut self, ev: Event) {
         let cell_id = ev.target.cell;
+        let ci = cell_id.index();
+        let kind = self.kinds[ci];
         if let Some(obs) = self.observer.as_mut() {
-            obs.on_deliver(cell_id, self.netlist.cell(cell_id).kind, ev.time);
+            obs.on_deliver(cell_id, kind, ev.time);
         }
-        if self.faults.get(&cell_id) == Some(&Fault::IgnoreInput) {
-            self.stats.events_delivered += 1;
+        let fault = self.faults[ci];
+        if fault == Some(Fault::IgnoreInput) {
+            self.raw.events_delivered += 1;
             return;
         }
-        let kind = self.netlist.cell(cell_id).kind;
-        self.stats.events_delivered += 1;
-        self.stats.final_time_ps = self.stats.final_time_ps.max(ev.time);
-        *self.stats.switch_events.entry(kind).or_insert(0) += 1;
+        self.raw.events_delivered += 1;
+        self.raw.final_time_ps = self.raw.final_time_ps.max(ev.time);
+        self.raw.switch_counts[kind.index()] += 1;
 
         // Timing-constraint check against the dense per-port arrival table:
         // only rules keyed to the arriving port are inspected, and the
         // breaking arrival time falls out of the same lookup.
         let vstart = self.violations.len();
-        let constraints = self.library.constraints(kind);
-        let arr = &mut self.arrivals[cell_id.index()];
+        let constraints = self.constraint_tabs[kind.index()];
+        let arr = &mut self.arrivals[ci];
         let violations = &mut self.violations;
         constraints.check_dense(ev.target.port, ev.time, arr, |rule, prev_time| {
             violations.push(Violation {
@@ -461,7 +551,7 @@ impl<'a> Simulator<'a> {
         arr[ev.target.port.index()] = ev.time;
 
         // Behavioural update.
-        let response = self.states[cell_id.index()].on_pulse(kind, ev.target.port);
+        let response = self.states[ci].on_pulse(kind, ev.target.port);
         if let Some(issue) = response.issue {
             self.violations.push(Violation {
                 cell: cell_id,
@@ -475,10 +565,10 @@ impl<'a> Simulator<'a> {
                 obs.on_violation(v);
             }
         }
-        if self.faults.get(&cell_id) == Some(&Fault::DropOutput) {
+        if fault == Some(Fault::DropOutput) {
             return;
         }
-        let mut delay = self.library.params(kind).delay_ps;
+        let mut delay = self.delay_by_kind[kind.index()];
         if let Some(j) = &mut self.jitter {
             // Box-Muller; delays cannot go below a quarter of nominal.
             let u1: f64 = j.rng.gen_range(1e-12..1.0);
@@ -487,32 +577,40 @@ impl<'a> Simulator<'a> {
             delay = (delay + j.sigma_ps * gauss).max(delay / 4.0);
         }
         for out_port in response.emitted() {
-            self.stats.pulses_emitted += 1;
-            let out_ref = PortRef::new(cell_id, out_port);
+            self.raw.pulses_emitted += 1;
             let emit_time = ev.time + delay;
             if let Some(obs) = self.observer.as_mut() {
                 obs.on_emit(cell_id, kind, emit_time);
             }
+            let out_slot = ci * PortName::COUNT + out_port.index();
             let mut consumed = false;
-            if let Some(names) = self.probe_lookup.get(&out_ref) {
-                for name in names {
-                    self.traces
-                        .get_mut(name)
-                        .expect("probe trace pre-registered")
-                        .push(emit_time);
+            let (lo, hi) = (
+                self.probe_offsets[out_slot] as usize,
+                self.probe_offsets[out_slot + 1] as usize,
+            );
+            if lo < hi {
+                for &pid in &self.probe_ids[lo..hi] {
+                    self.probe_traces[pid as usize].push(emit_time);
                 }
                 consumed = true;
             }
-            if let Some(wire) = self.netlist.wire_from(out_ref) {
+            if let Some(wire) = self.wire_to[out_slot] {
                 self.queue
                     .push(Event::new(emit_time + wire.delay_ps, self.seq, wire.to));
                 self.seq += 1;
                 consumed = true;
             }
             if !consumed {
-                self.stats.pulses_dropped += 1;
+                self.raw.pulses_dropped += 1;
             }
         }
+    }
+
+    /// The probe id for `name`, if registered.
+    fn probe_id(&self, name: &str) -> Option<usize> {
+        self.probe_names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
     }
 
     /// Pulse times recorded by the named probe.
@@ -531,15 +629,18 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`SimError::UnknownProbe`] if `name` was never registered.
     pub fn try_pulses(&self, name: &str) -> Result<&[Ps], SimError> {
-        self.traces
-            .get(name)
-            .map(Vec::as_slice)
+        self.probe_id(name)
+            .map(|pid| self.probe_traces[pid].as_slice())
             .ok_or_else(|| SimError::UnknownProbe(name.to_owned()))
     }
 
-    /// All probe traces, keyed by probe name.
-    pub fn traces(&self) -> &BTreeMap<String, Vec<Ps>> {
-        &self.traces
+    /// All probe traces as `(name, pulse times)` pairs, in ascending name
+    /// order.
+    pub fn traces(&self) -> impl Iterator<Item = (&str, &[Ps])> {
+        self.probe_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.probe_traces.iter().map(Vec::as_slice))
     }
 
     /// Violations recorded so far (timing and logical).
@@ -564,20 +665,24 @@ impl<'a> Simulator<'a> {
     /// before the next run.
     pub fn take_outcome(&mut self) -> SimOutcome {
         let traces = self
-            .traces
-            .iter_mut()
-            .map(|(name, t)| (name.clone(), std::mem::take(t)))
+            .probe_names
+            .iter()
+            .cloned()
+            .zip(self.probe_traces.iter_mut().map(std::mem::take))
             .collect();
+        let stats = self.raw.materialize();
+        self.raw = RawStats::default();
         SimOutcome {
             traces,
             violations: std::mem::take(&mut self.violations),
-            stats: std::mem::take(&mut self.stats),
+            stats,
         }
     }
 
-    /// Aggregate statistics so far.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// Aggregate statistics so far, materialized from the engine's dense
+    /// counters (cheap: one pass over the fixed kind set).
+    pub fn stats(&self) -> SimStats {
+        self.raw.materialize()
     }
 
     /// The internal state of a cell (for assertions in tests and for the
@@ -599,11 +704,9 @@ impl<'a> Simulator<'a> {
     /// An attached observer survives the reset and keeps accumulating —
     /// that is how one profiler can cover every item a batch worker runs.
     pub fn reset(&mut self) {
-        self.states = self
-            .netlist
-            .cells()
-            .map(|(_, c)| CellState::initial(c.kind))
-            .collect();
+        for (s, &k) in self.states.iter_mut().zip(&self.kinds) {
+            *s = CellState::initial(k);
+        }
         for a in self.arrivals.iter_mut() {
             *a = NO_ARRIVALS;
         }
@@ -611,11 +714,12 @@ impl<'a> Simulator<'a> {
         // Restart the deterministic tie-break counter; leaving it mid-count
         // would order equal-time events differently on the re-run.
         self.seq = 0;
-        for t in self.traces.values_mut() {
+        for t in self.probe_traces.iter_mut() {
             t.clear();
         }
         self.violations.clear();
-        self.stats = SimStats::default();
+        self.raw = RawStats::default();
+        self.run_active = false;
         // Rewind the jitter stream; leaving the RNG mid-stream would give
         // the re-run different delays than the first run.
         if let Some(j) = &mut self.jitter {
@@ -809,6 +913,20 @@ mod tests {
     }
 
     #[test]
+    fn stats_only_list_kinds_that_switched() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.switch_events.len(), 2);
+        assert_eq!(stats.switch_events[&CellKind::DcSfq], 1);
+        assert_eq!(stats.switch_events[&CellKind::Jtl], 1);
+        assert!(!stats.switch_events.contains_key(&CellKind::Dff));
+    }
+
+    #[test]
     fn jitter_is_deterministic_and_bounded() {
         let n = simple_chain();
         let l = lib();
@@ -878,6 +996,20 @@ mod tests {
     }
 
     #[test]
+    fn fault_on_foreign_cell_id_is_ignored() {
+        let n = simple_chain();
+        let l = lib();
+        // Cell 99 is not in this 2-cell netlist: the fault must be a silent
+        // no-op, as it was when faults lived in a map.
+        let mut sim = SimConfig::new()
+            .fault(CellId::from_index(99), Fault::IgnoreInput)
+            .build(&n, &l);
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.pulses("out").len(), 1);
+    }
+
+    #[test]
     fn violation_display_is_informative() {
         let n = simple_chain();
         let l = lib();
@@ -899,6 +1031,11 @@ mod tests {
         let text = reports[0].to_string();
         assert!(text.contains("[src]"), "{text}");
         assert_eq!(text, sim.violations()[0].describe(&n));
+        assert_eq!(
+            text,
+            format!("{} [src]", sim.violations()[0]),
+            "report Display must stay the bare Display plus the label suffix"
+        );
     }
 
     /// Satellite regression: `reset()` must rewind the event sequence
@@ -946,27 +1083,55 @@ mod tests {
         }
     }
 
-    /// The deprecated `with_*` builder chain (kept one PR as a migration
-    /// shim) still produces the same simulator as [`SimConfig`].
+    /// Satellite regression: `on_run_end` fires exactly once per drained
+    /// run — also when `run_until` does the draining — and repeated
+    /// `run_to_completion` calls without new stimulus do not re-fire it.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_chain_matches_sim_config() {
+    fn on_run_end_fires_exactly_once_per_drained_run() {
+        #[derive(Debug, Clone, Default)]
+        struct RunEndCounter {
+            ends: u64,
+        }
+        impl SimObserver for RunEndCounter {
+            fn on_run_end(&mut self, _stats: &SimStats) {
+                self.ends += 1;
+            }
+            fn box_clone(&self) -> Box<dyn SimObserver> {
+                Box::new(self.clone())
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+
         let n = simple_chain();
         let l = lib();
-        let times: Vec<Ps> = (0..20).map(|i| 100.0 + 40.0 * i as Ps).collect();
-        let mut old = Simulator::new(&n, &l)
-            .with_jitter(5, 2.0)
-            .with_fault(CellId(1), Fault::DropOutput)
-            .with_event_limit(1_000);
-        old.inject("in", &times).unwrap();
-        old.run_to_completion().unwrap();
-        let mut new = SimConfig::new()
-            .jitter(5, 2.0)
-            .fault(CellId(1), Fault::DropOutput)
-            .event_limit(1_000)
-            .build(&n, &l);
-        new.inject("in", &times).unwrap();
-        new.run_to_completion().unwrap();
-        assert_eq!(old.take_outcome(), new.take_outcome());
+        let mut sim = Simulator::new(&n, &l);
+        sim.attach_observer(RunEndCounter::default());
+
+        let ends = |sim: &mut Simulator| {
+            let counter = sim.take_observer_as::<RunEndCounter>().unwrap();
+            let n = counter.ends;
+            sim.attach_observer(counter);
+            n
+        };
+
+        sim.inject("in", &[100.0, 500.0]).unwrap();
+        // A deadline mid-run leaves events pending: no run end yet.
+        sim.run_until(200.0).unwrap();
+        assert_eq!(ends(&mut sim), 0);
+        // Draining via run_until (not run_to_completion) fires it once.
+        sim.run_until(1.0e9).unwrap();
+        assert_eq!(ends(&mut sim), 1);
+        // Re-running the drained simulator must not re-fire.
+        sim.run_to_completion().unwrap();
+        sim.run_to_completion().unwrap();
+        sim.run_until(2.0e9).unwrap();
+        assert_eq!(ends(&mut sim), 1);
+        // A new injection opens a new run; draining it fires again.
+        sim.reset();
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(ends(&mut sim), 2);
     }
 }

@@ -327,6 +327,14 @@ impl Netlist {
         self.wires.get(&port_ref)
     }
 
+    /// Iterates over all `(source output port, wire)` pairs, in port order.
+    ///
+    /// The simulator uses this once at construction to build its dense
+    /// per-port wire table; per-event lookups never touch the map.
+    pub fn wires(&self) -> impl Iterator<Item = (PortRef, &Wire)> {
+        self.wires.iter().map(|(&r, w)| (r, w))
+    }
+
     /// Named external inputs.
     pub fn inputs(&self) -> &BTreeMap<String, PortRef> {
         &self.inputs

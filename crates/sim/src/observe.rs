@@ -522,7 +522,7 @@ mod tests {
         let times: Vec<Ps> = (0..20).map(|i| 100.0 + 40.0 * i as Ps).collect();
         sim.inject("in", &times).unwrap();
         sim.run_to_completion().unwrap();
-        let stats = sim.stats().clone();
+        let stats = sim.stats();
         let profiler: ActivityProfiler = sim.take_observer_as().unwrap();
         assert_eq!(profiler.total_deliveries(), stats.events_delivered);
         assert_eq!(profiler.total_emissions(), stats.pulses_emitted);

@@ -49,7 +49,7 @@ impl VcdBuilder {
     /// Adds every probe trace of a finished simulation.
     pub fn from_simulator(mut self, sim: &Simulator<'_>) -> Self {
         for (name, pulses) in sim.traces() {
-            self.signals.insert(name.clone(), pulses.clone());
+            self.signals.insert(name.to_owned(), pulses.to_vec());
         }
         self
     }

@@ -1,8 +1,13 @@
 //! Property-based tests on the simulator's core invariants.
 
 use proptest::prelude::*;
+use std::collections::BinaryHeap;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
-use sushi_sim::{levels_from_pulses, BatchRunner, Netlist, PulseTrain, SimConfig, StimulusBuilder};
+use sushi_sim::event::Event;
+use sushi_sim::{
+    levels_from_pulses, BatchRunner, CalendarQueue, CellId, Netlist, PortRef, PulseTrain,
+    SimConfig, StimulusBuilder,
+};
 
 /// Strategy: a monotonically increasing pulse train with safe spacing.
 fn safe_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
@@ -195,5 +200,59 @@ proptest! {
             prop_assert_eq!(report.events_delivered, delivered);
             prop_assert_eq!(report.items, items.len());
         }
+    }
+
+    /// The calendar queue pops in exactly the `(time, seq)` order of the
+    /// `BinaryHeap<Event>` it replaced, under random interleaved schedules
+    /// that include equal-time bursts, pushes earlier than the last pop,
+    /// and far-future events that land in the overflow bin.
+    #[test]
+    fn calendar_queue_matches_binary_heap_order(codes in prop::collection::vec(0u64..u64::MAX, 1..400)) {
+        let target = PortRef::new(CellId::from_index(0), PortName::Din);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0u64;
+        // Time of the most recent pop (the simulator's "current time").
+        let mut now = 0.0f64;
+        // Time of the most recent push, reused for equal-time bursts.
+        let mut last_push = 0.0f64;
+
+        for code in codes {
+            // Decode one op from the random word: 5/8 pushes of four
+            // flavours, 3/8 pops. The offset quantises to 0.25 ps so
+            // exact float collisions between flavours happen too.
+            let offset = ((code >> 3) % 256) as f64 * 0.25;
+            let time = match code % 8 {
+                0 | 1 => Some(now + offset),         // near future
+                2 => Some(last_push),                // equal-time burst
+                3 => Some(now + 1.0e6 + offset),     // overflow bin
+                4 => Some(now - offset),             // before the cursor
+                _ => None,                           // pop
+            };
+            if let Some(t) = time {
+                heap.push(Event::new(t, seq, target));
+                cal.push(Event::new(t, seq, target));
+                last_push = t;
+                seq += 1;
+            } else {
+                let expect = heap.pop();
+                let got = cal.pop();
+                prop_assert_eq!(cal.len(), heap.len());
+                match (expect, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => {
+                        prop_assert_eq!((e.time, e.seq), (g.time, g.seq));
+                        now = e.time;
+                    }
+                    (e, g) => prop_assert!(false, "heap {:?} vs calendar {:?}", e, g),
+                }
+            }
+        }
+        // Drain the remainder: the full tail must agree element-wise.
+        while let Some(e) = heap.pop() {
+            let g = cal.pop();
+            prop_assert_eq!(Some((e.time, e.seq)), g.map(|g| (g.time, g.seq)));
+        }
+        prop_assert!(cal.is_empty());
     }
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Runs the sim_engine criterion benchmarks and writes a machine-readable
+# summary with the commit hash and headline throughput numbers.
+#
+#   scripts/bench.sh            full run -> BENCH_sim.json (tracked baseline)
+#   scripts/bench.sh --smoke    tiny budget -> temp file, structural checks only
+#
+# The vendored criterion stand-in appends one JSON line per benchmark to
+# $CRITERION_JSON; this script assembles those lines with jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=full
+[[ "${1:-}" == "--smoke" ]] && mode=smoke
+
+raw="$(mktemp)"
+cleanup() { rm -f "$raw" "${tmp_out:-}"; }
+trap cleanup EXIT
+
+if [[ "$mode" == smoke ]]; then
+  # One warm-up plus two samples per benchmark: exercises the full path
+  # (bench targets, JSON emission, jq assembly) in seconds.
+  export CRITERION_SAMPLES=2 CRITERION_MEASUREMENT_MS=200
+  tmp_out="$(mktemp)"
+  out="$tmp_out"
+else
+  out="BENCH_sim.json"
+fi
+
+echo "==> cargo bench -p sushi-bench --bench sim_engine ($mode)"
+CRITERION_JSON="$raw" cargo bench -q -p sushi-bench --bench sim_engine
+
+commit="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
+
+jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$(date -u +%FT%TZ)" '
+  (map(select(.id == "jtl_pipeline_200x100_pulses")) | first) as $jtl
+  | (map(select(.id == "jtl_batch32_sequential")) | first) as $batch
+  | {
+      commit: $commit,
+      mode: $mode,
+      generated_utc: $date,
+      headline: {
+        jtl_pipeline_200x100_melem_per_s:
+          (if $jtl then ($jtl.elem_per_s / 1e6 * 1000 | round / 1000) else null end),
+        jtl_batch32_sequential_items_per_s:
+          (if $batch then (32e9 / $batch.mean_ns * 1000 | round / 1000) else null end)
+      },
+      benchmarks: .
+    }' "$raw" > "$out"
+
+# Sanity-gate the output in both modes: all six benchmarks reported and
+# both headline rates present and positive.
+jq -e '
+  .commit and (.benchmarks | length) >= 6
+  and .headline.jtl_pipeline_200x100_melem_per_s > 0
+  and .headline.jtl_batch32_sequential_items_per_s > 0
+' "$out" >/dev/null || { echo "bench.sh: $out failed validation" >&2; exit 1; }
+
+if [[ "$mode" == smoke ]]; then
+  echo "smoke bench OK ($(jq -r '.benchmarks | length' "$out") benchmarks, output validated)"
+else
+  echo "wrote $out:"
+  jq '.headline' "$out"
+fi

@@ -25,4 +25,7 @@ echo "==> bench metrics smoke run"
 bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
 grep -q "hot cells:" <<<"$bench_out"
 
+echo "==> criterion bench smoke (scripts/bench.sh --smoke)"
+scripts/bench.sh --smoke
+
 echo "All checks passed."

@@ -7,6 +7,14 @@
 //! samples within the `measurement_time` budget, and prints min/mean/max
 //! per-iteration times (plus element throughput when configured). No
 //! statistics, plots, or baselines.
+//!
+//! Environment hooks (used by `scripts/bench.sh`):
+//! - `CRITERION_JSON=<path>`: append one JSON object per finished
+//!   benchmark (group, id, sample count, min/mean/max ns, and per-second
+//!   throughput when configured) to `<path>`, one per line.
+//! - `CRITERION_SAMPLES=<n>` / `CRITERION_MEASUREMENT_MS=<ms>`: override
+//!   every group's sample count and time budget — the smoke-mode knobs
+//!   that let CI run each benchmark once without editing bench targets.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -121,16 +129,28 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
+    /// A bencher honouring the group's settings, unless the smoke-mode
+    /// environment overrides (`CRITERION_SAMPLES`/`CRITERION_MEASUREMENT_MS`)
+    /// are set.
+    fn make_bencher(&self) -> Bencher {
+        let env_usize = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        Bencher {
+            samples: Vec::new(),
+            sample_size: env_usize("CRITERION_SAMPLES")
+                .map(|n| n as usize)
+                .unwrap_or(self.sample_size),
+            measurement_time: env_usize("CRITERION_MEASUREMENT_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(self.measurement_time),
+        }
+    }
+
     /// Runs one benchmark closure and prints its timing line.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-        };
+        let mut b = self.make_bencher();
         f(&mut b);
         report(
             &self.name,
@@ -151,11 +171,7 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-        };
+        let mut b = self.make_bencher();
         f(&mut b, input);
         report(
             &self.name,
@@ -207,6 +223,63 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Appends one JSON object for a finished benchmark to the file named by
+/// `CRITERION_JSON`, if set. Failures to write are reported on stderr but
+/// never fail the benchmark run.
+fn emit_json(
+    group: &str,
+    id: &str,
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut line = format!(
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}",
+        esc(group),
+        esc(id),
+        samples,
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos()
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let _ = write!(
+                line,
+                ",\"elements_per_iter\":{n},\"elem_per_s\":{}",
+                n as f64 / mean.as_secs_f64()
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let _ = write!(
+                line,
+                ",\"bytes_per_iter\":{n},\"bytes_per_s\":{}",
+                n as f64 / mean.as_secs_f64()
+            );
+        }
+        None => {}
+    }
+    line.push('}');
+    line.push('\n');
+    let written = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion stand-in: cannot append to CRITERION_JSON={path}: {e}");
+    }
+}
+
 fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{group}/{id:<40} (no samples)");
@@ -215,6 +288,7 @@ fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throug
     let min = *samples.iter().min().expect("non-empty");
     let max = *samples.iter().max().expect("non-empty");
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    emit_json(group, id, min, mean, max, samples.len(), throughput);
     let mut line = format!(
         "{group}/{id}\n{:24}time:   [{} {} {}]",
         "",
