@@ -1,14 +1,92 @@
 //! Table 3 bench: regenerates the accuracy/consistency comparison (quick
-//! scale) and measures the chip pipeline's per-sample inference cost.
+//! scale), measures the chip pipeline's per-sample inference cost, and
+//! races the bit-packed XNOR/popcount SSNN engine against the scalar
+//! oracle on the paper's 784–800–10 evaluation shape (`BENCH_ssnn.json`
+//! headline, assembled by `scripts/bench.sh`).
 
-use criterion::{criterion_group, Criterion};
+use criterion::{criterion_group, Criterion, Throughput};
 use std::time::Duration;
 use sushi_core::experiments::{table3, Scale};
 use sushi_core::SushiChip;
 use sushi_sim::EvalOptions;
 use sushi_snn::data::synth_digits;
 use sushi_snn::train::{TrainConfig, Trainer};
+use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
+use sushi_ssnn::packed::PackedSnn;
+
+/// Images per benchmark iteration of the packed-vs-scalar groups.
+const SSNN_IMAGES: usize = 16;
+/// Poisson time steps per image.
+const SSNN_FRAMES: usize = 10;
+
+/// The paper's 784–800–10 MNIST shape with deterministic pseudorandom
+/// signs and thresholds — throughput depends only on the shape and the
+/// input activity, not on trained weights.
+fn paper_shape_net(seed: u64) -> BinarizedSnn {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    let mut layer = |ins: usize, outs: usize| {
+        let signs: Vec<i8> = (0..ins * outs)
+            .map(|_| match next() % 8 {
+                0 => 0, // open cross-point switch
+                1..=3 => -1,
+                _ => 1,
+            })
+            .collect();
+        let thresholds: Vec<i64> = (0..outs).map(|_| 4 + (next() % 20) as i64).collect();
+        BinaryLayer::from_signs(signs, ins, outs, thresholds)
+    };
+    BinarizedSnn::from_layers(vec![layer(784, 800), layer(800, 10)])
+}
+
+/// `count` images of `SSNN_FRAMES` deterministic ~30%-dense spike frames.
+fn spike_images(seed: u64, count: usize) -> Vec<Vec<Vec<bool>>> {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    (0..count)
+        .map(|_| {
+            (0..SSNN_FRAMES)
+                .map(|_| (0..784).map(|_| next() % 10 < 3).collect())
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ssnn_packed(c: &mut Criterion) {
+    let net = paper_shape_net(0xD1CE);
+    let packed = PackedSnn::from_network(&net);
+    let images = spike_images(0xACED, SSNN_IMAGES);
+    // Sanity: the packed engine is a bitwise drop-in before we time it.
+    for img in &images {
+        assert_eq!(packed.predict(img), net.predict_scalar(img));
+    }
+
+    let mut g = c.benchmark_group("ssnn_packed");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.throughput(Throughput::Elements(SSNN_IMAGES as u64));
+    g.bench_function("scalar_predict_784_800_10", |b| {
+        b.iter(|| -> usize { images.iter().map(|img| net.predict_scalar(img)).sum() })
+    });
+    g.bench_function("packed_predict_784_800_10", |b| {
+        b.iter(|| -> usize { images.iter().map(|img| packed.predict(img)).sum() })
+    });
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    g.bench_function(format!("packed_predict_batch_{workers}_workers"), |b| {
+        b.iter(|| packed.predict_batch(&images, workers))
+    });
+    g.finish();
+}
 
 fn bench(c: &mut Criterion) {
     let data = synth_digits(300, 1);
@@ -57,7 +135,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, bench_ssnn_packed);
 
 fn main() {
     println!("{}", table3(Scale::quick()).1);

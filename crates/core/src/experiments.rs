@@ -11,6 +11,7 @@ use crate::oscilloscope::Oscilloscope;
 use crate::report::{batch_worker_table, eval_worker_table, hot_cell_table, TextTable};
 use crate::SushiChip;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use sushi_arch::chip::{ChipConfig, WeightConfig};
 use sushi_arch::{PerfModel, ResourceReport};
 use sushi_cells::{CellKind, CellLibrary};
@@ -20,6 +21,7 @@ use sushi_snn::metrics::consistency;
 use sushi_snn::train::{TrainConfig, TrainedSnn, Trainer};
 use sushi_ssnn::bucketing::{bucketed_order, inhibitory_first, worst_case_excursion};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
+use sushi_ssnn::packed::PackedSnn;
 use sushi_ssnn::reload::breakdown;
 use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
 use sushi_ssnn::timing::TimingSchedule;
@@ -923,6 +925,43 @@ pub fn bench_metrics(scale: Scale) -> String {
         eval.accuracy * 100.0,
         eval_worker_table(&er),
         er.to_json(),
+    ));
+
+    // Packed-engine drill-down: the bit-packed XNOR/popcount engine vs the
+    // scalar oracle on the binarized network the compiler just built.
+    let packed = PackedSnn::from_network(&program.net);
+    let frames: Vec<Vec<Vec<bool>>> = test
+        .images
+        .iter()
+        .take(32)
+        .enumerate()
+        .map(|(i, img)| program.encode_input(img, i as u64))
+        .collect();
+    let reps = 5;
+    let t = Instant::now();
+    let mut packed_preds = Vec::new();
+    for _ in 0..reps {
+        packed_preds = frames.iter().map(|f| packed.predict(f)).collect();
+    }
+    let packed_rate = (reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    let t = Instant::now();
+    let mut scalar_preds: Vec<usize> = Vec::new();
+    for _ in 0..reps {
+        scalar_preds = frames
+            .iter()
+            .map(|f| program.net.predict_scalar(f))
+            .collect();
+    }
+    let scalar_rate = (reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "\n## Bench: packed SSNN engine (XNOR/popcount)\n\
+         images {} x{} reps | packed {:.0} images/s | scalar {:.0} images/s | speedup {:.2}x | predictions agree: {}\n",
+        frames.len(),
+        reps,
+        packed_rate,
+        scalar_rate,
+        packed_rate / scalar_rate.max(1e-9),
+        packed_preds == scalar_preds,
     ));
     out
 }

@@ -162,6 +162,11 @@ impl Matrix {
 
     /// `self @ other^T` (common in backprop).
     ///
+    /// Materializes `other^T` once and reuses the blocked row-major kernel
+    /// (and parallel dispatch) of [`Matrix::matmul`]: the inner sweep then
+    /// runs along contiguous output rows with the sparse-row skip, instead
+    /// of the naive triple loop's strided dot products.
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatch.
@@ -171,15 +176,7 @@ impl Matrix {
             "matmul_t {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a = self.row(i);
-            for j in 0..other.rows {
-                let b = other.row(j);
-                out[(i, j)] = a.iter().zip(b).map(|(x, y)| x * y).sum();
-            }
-        }
-        out
+        self.matmul(&other.transpose())
     }
 
     /// `self^T @ other` (weight-gradient accumulation).

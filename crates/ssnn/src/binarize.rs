@@ -7,6 +7,7 @@
 //! `theta / alpha_j` — so the scale is folded into a per-neuron integer
 //! threshold and the chip only ever handles ±1 pulses.
 
+use crate::packed::{PackedFrame, PackedLayer};
 use serde::{Deserialize, Serialize};
 use sushi_snn::tensor::Matrix;
 use sushi_snn::train::TrainedSnn;
@@ -28,6 +29,10 @@ pub struct BinaryLayer {
     /// Folded integer thresholds per output neuron: the neuron fires iff
     /// the signed pulse sum reaches this value.
     thresholds: Vec<i64>,
+    /// The same signs bit-packed column-major for the XNOR/popcount fast
+    /// path (see [`crate::packed`]); derived from `signs` at construction,
+    /// so equality and clones stay consistent.
+    packed: PackedLayer,
 }
 
 impl BinaryLayer {
@@ -72,11 +77,13 @@ impl BinaryLayer {
             };
             thresholds.push(t);
         }
+        let packed = PackedLayer::from_parts(&signs, inputs, outputs, &thresholds);
         Self {
             signs,
             inputs,
             outputs,
             thresholds,
+            packed,
         }
     }
 
@@ -93,11 +100,13 @@ impl BinaryLayer {
             signs.iter().all(|&s| (-1..=1).contains(&s)),
             "signs must be -1, 0 or 1"
         );
+        let packed = PackedLayer::from_parts(&signs, inputs, outputs, &thresholds);
         Self {
             signs,
             inputs,
             outputs,
             thresholds,
+            packed,
         }
     }
 
@@ -145,8 +154,13 @@ impl BinaryLayer {
         self.thresholds[j]
     }
 
+    /// The bit-packed column view of this layer (XNOR/popcount fast path).
+    pub fn packed(&self) -> &PackedLayer {
+        &self.packed
+    }
+
     /// Integer pre-activation of every output neuron for a binary input
-    /// frame.
+    /// frame — the scalar oracle the packed path must match bitwise.
     ///
     /// # Panics
     ///
@@ -166,17 +180,13 @@ impl BinaryLayer {
         acc
     }
 
-    /// Count of inhibitory (−1) synapses per output neuron.
+    /// Count of inhibitory (−1) synapses per output neuron, derived from
+    /// the packed representation: one `popcount(conn & !pos)` sweep per
+    /// column instead of recomputing `i * outputs + j` per element.
     pub fn inhibitory_counts(&self) -> Vec<usize> {
-        let mut c = vec![0usize; self.outputs];
-        for i in 0..self.inputs {
-            for (j, cj) in c.iter_mut().enumerate() {
-                if self.signs[i * self.outputs + j] < 0 {
-                    *cj += 1;
-                }
-            }
-        }
-        c
+        (0..self.outputs)
+            .map(|j| self.packed.inhibitory_count(j))
+            .collect()
     }
 }
 
@@ -242,12 +252,31 @@ impl BinarizedSnn {
     }
 
     /// One stateless time step through the whole network with end-of-step
-    /// firing (the software reference semantics).
+    /// firing (the software reference semantics). Runs on the bit-packed
+    /// XNOR/popcount path — bitwise identical to [`Self::step_scalar`],
+    /// which is kept as the oracle.
     ///
     /// # Panics
     ///
     /// Panics on input-width mismatch.
     pub fn step(&self, input: &[bool]) -> Vec<bool> {
+        let mut x = PackedFrame::from_bools(input);
+        let mut y = PackedFrame::default();
+        let mut acc = Vec::new();
+        for layer in &self.layers {
+            layer.packed.step_into(&x, &mut y, &mut acc);
+            std::mem::swap(&mut x, &mut y);
+        }
+        x.to_bools()
+    }
+
+    /// The scalar reference for [`Self::step`]: `Vec<i8>` × `Vec<bool>`
+    /// inner loops, no packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn step_scalar(&self, input: &[bool]) -> Vec<bool> {
         let mut x: Vec<bool> = input.to_vec();
         for layer in &self.layers {
             let acc = layer.accumulate(&x);
@@ -261,11 +290,31 @@ impl BinarizedSnn {
     }
 
     /// Runs `frames` (one bool vec per time step), returning per-class
-    /// spike counts.
+    /// spike counts. Packed fast path; bitwise identical to
+    /// [`Self::forward_counts_scalar`].
     pub fn forward_counts(&self, frames: &[Vec<bool>]) -> Vec<u32> {
         let mut counts = vec![0u32; self.classes()];
+        let mut x = PackedFrame::default();
+        let mut y = PackedFrame::default();
+        let mut acc = Vec::new();
         for f in frames {
-            for (c, s) in counts.iter_mut().zip(self.step(f)) {
+            x.fill_from_bools(f);
+            for layer in &self.layers {
+                layer.packed.step_into(&x, &mut y, &mut acc);
+                std::mem::swap(&mut x, &mut y);
+            }
+            for (j, c) in counts.iter_mut().enumerate() {
+                *c += u32::from(x.get(j));
+            }
+        }
+        counts
+    }
+
+    /// The scalar reference for [`Self::forward_counts`].
+    pub fn forward_counts_scalar(&self, frames: &[Vec<bool>]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.classes()];
+        for f in frames {
+            for (c, s) in counts.iter_mut().zip(self.step_scalar(f)) {
                 *c += u32::from(s);
             }
         }
@@ -273,16 +322,26 @@ impl BinarizedSnn {
     }
 
     /// Predicted class for `frames` (argmax of spike counts; ties go to
-    /// the lowest index, matching the float reference's argmax).
+    /// the lowest index, matching the float reference's argmax). Packed
+    /// fast path; bitwise identical to [`Self::predict_scalar`].
     pub fn predict(&self, frames: &[Vec<bool>]) -> usize {
-        let counts = self.forward_counts(frames);
-        counts
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-            .map(|(i, _)| i)
-            .expect("at least one class")
+        argmax_low(&self.forward_counts(frames))
     }
+
+    /// The scalar reference for [`Self::predict`].
+    pub fn predict_scalar(&self, frames: &[Vec<bool>]) -> usize {
+        argmax_low(&self.forward_counts_scalar(frames))
+    }
+}
+
+/// Argmax with ties to the lowest index.
+fn argmax_low(counts: &[u32]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("at least one class")
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! last row block.
 
 use crate::binarize::BinarizedSnn;
+use crate::packed::PackedFrame;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -128,12 +129,17 @@ impl SliceSchedule {
     /// partial sums preserved across row blocks — must agree exactly with
     /// the unsliced reference (`BinarizedSnn::step`).
     ///
+    /// Each tile is evaluated against the layer's packed columns: the
+    /// slice's row range becomes a masked popcount window, so partial
+    /// sums accumulate 64 synapses per word-op while remaining exact
+    /// integers (bitwise identical to the scalar sweep).
+    ///
     /// # Panics
     ///
     /// Panics if the schedule was not built for `net` or the input width
     /// mismatches.
     pub fn sliced_step(&self, net: &BinarizedSnn, input: &[bool]) -> Vec<bool> {
-        let mut x = input.to_vec();
+        let mut x = PackedFrame::from_bools(input);
         let mut layer_idx = 0usize;
         let mut acc: Vec<i64> = vec![0; net.layers()[0].outputs()];
         let mut out: Vec<bool> = vec![false; net.layers()[0].outputs()];
@@ -143,20 +149,18 @@ impl SliceSchedule {
                 // layer's spike vector.
                 assert_eq!(slice.layer, layer_idx + 1, "schedule out of order");
                 layer_idx = slice.layer;
-                x = out.clone();
+                x.fill_from_bools(&out);
                 acc = vec![0; net.layers()[layer_idx].outputs()];
                 out = vec![false; net.layers()[layer_idx].outputs()];
             }
             let layer = &net.layers()[layer_idx];
             assert_eq!(x.len(), layer.inputs(), "input width mismatch");
-            for i in slice.rows.clone() {
-                if !x[i] {
-                    continue;
-                }
-                for j in slice.cols.clone() {
-                    acc[j] += i64::from(layer.sign(i, j));
-                }
-            }
+            layer.packed().accumulate_rows_into(
+                &x,
+                slice.rows.clone(),
+                slice.cols.clone(),
+                &mut acc,
+            );
             if slice.fires {
                 for j in slice.cols.clone() {
                     out[j] = acc[j] >= layer.threshold(j);

@@ -20,6 +20,10 @@
 //!   pulse protocol of Fig. 14;
 //! * [`bitslice`] — the bit-slice SSNN method decomposing a network into
 //!   chip-sized slices executed in time order (Fig. 15);
+//! * [`packed`] — the bit-packed XNOR/popcount inference engine: sign
+//!   columns and spike frames as `u64` words, 64 synapses per word-op,
+//!   bitwise identical to the scalar reference, with a deterministic
+//!   parallel `predict_batch`;
 //! * [`encode`] — pulse-stream encoding for the cell-accurate chip netlist;
 //! * [`compiler`] — the offline phase of Fig. 12 tying it all together
 //!   into a [`compiler::ChipProgram`].
@@ -43,6 +47,7 @@ pub mod bucketing;
 pub mod compiler;
 pub mod convmap;
 pub mod encode;
+pub mod packed;
 pub mod quantize;
 pub mod reload;
 pub mod stateless;
@@ -53,5 +58,6 @@ pub use bitslice::{Slice, SliceSchedule};
 pub use bucketing::{analyze_excursion, bucketed_order, inhibitory_first, Excursion};
 pub use compiler::{ChipProgram, Compiler};
 pub use convmap::binarize_conv;
+pub use packed::{PackedFrame, PackedLayer, PackedSnn};
 pub use quantize::{QuantizedLayer, QuantizedSnn};
 pub use stateless::{ExecStats, FireSemantics, SsnnExecutor};

@@ -1,0 +1,883 @@
+//! Bit-packed XNOR/popcount SSNN inference.
+//!
+//! A ±1-weight, binary-spike network is the textbook case for 64-wide
+//! bitwise evaluation: each output neuron's sign column becomes two `u64`
+//! bit vectors — a *connectivity* mask (`sign != 0`; zero signs are open
+//! cross-point switches) and a *polarity* mask (`sign > 0`) — and each
+//! input frame becomes one bit vector of active inputs. The integer
+//! pre-activation of neuron `j` is then pure popcount arithmetic:
+//!
+//! ```text
+//! xa    = x & conn_j            // active, connected inputs
+//! p     = popcount(xa & pos_j)  // excitatory pulses received
+//! acc_j = 2*p - popcount(xa)    // = p - (popcount(xa) - p)
+//! ```
+//!
+//! which is the XNOR-Net identity `acc = ones - 2*popcount(x ^ w)`
+//! restricted to active, connected inputs. Every quantity is an exact
+//! integer, so packed results are **bitwise identical** to the scalar
+//! `Vec<i8>` × `Vec<bool>` path in [`crate::binarize`] — thresholds
+//! included. Columns are stored column-major (`words` consecutive `u64`
+//! per neuron) so an accumulate is one contiguous sweep per column; pad
+//! bits past `inputs` are kept zero by construction on both the column
+//! and the frame side.
+//!
+//! [`PackedSnn::predict_batch`] fans a dataset over scoped worker threads
+//! in the `sushi_sim::BatchRunner` style: items are assigned to workers in
+//! contiguous chunks and each worker writes only its own output slots, so
+//! the merged prediction vector is in input order and — predictions being
+//! pure functions of the item — bitwise identical for any worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use sushi_ssnn::binarize::{BinaryLayer, BinarizedSnn};
+//! use sushi_ssnn::packed::PackedSnn;
+//!
+//! let l = BinaryLayer::from_signs(vec![1, -1, 1, 1], 2, 2, vec![1, 2]);
+//! let net = BinarizedSnn::from_layers(vec![l]);
+//! let packed = PackedSnn::from_network(&net);
+//! assert_eq!(packed.step(&[true, true]), net.step_scalar(&[true, true]));
+//! ```
+
+use crate::binarize::BinarizedSnn;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One input (or spike) frame packed 64 bools per `u64` word, little-end
+/// first: bit `i` lives in `words[i / 64]` at position `i % 64`. Pad bits
+/// past `len` are always zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedFrame {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedFrame {
+    /// An all-zero frame of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Packs a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut f = Self::zeros(bits.len());
+        f.fill_from_bools(bits);
+        f
+    }
+
+    /// Repacks `bits` into this frame, reusing its allocation.
+    ///
+    /// Branchless word-at-a-time packing: per-bit `if b { set }` costs a
+    /// mispredict per spike on dense frames and dominated `predict` at
+    /// the paper shape (~a third of the packed path) before this.
+    pub fn fill_from_bools(&mut self, bits: &[bool]) {
+        self.reset(bits.len());
+        let mut chunks = bits.chunks_exact(64);
+        let mut w = 0;
+        for chunk in &mut chunks {
+            let mut word = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                word |= u64::from(b) << bit;
+            }
+            self.words[w] = word;
+            w += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (bit, &b) in rem.iter().enumerate() {
+                word |= u64::from(b) << bit;
+            }
+            self.words[w] = word;
+        }
+    }
+
+    /// Resizes to `len` bits, all zero.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Bit width.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the frame has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of {}", self.len);
+        self.words[i >> 6] >> (i & 63) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (which also protects the pad-bit
+    /// invariant).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of {}", self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Unpacks back to bools.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len)
+            .map(|i| self.words[i >> 6] >> (i & 63) & 1 == 1)
+            .collect()
+    }
+}
+
+/// One binarized layer with its sign columns bit-packed, column-major.
+///
+/// Built once from the row-major sign matrix; [`crate::BinaryLayer`]
+/// carries one alongside its scalar signs so every consumer can pick the
+/// 64-wide path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedLayer {
+    inputs: usize,
+    outputs: usize,
+    /// Words per column: `inputs.div_ceil(64)`.
+    words: usize,
+    /// Connectivity masks (`sign != 0`), column `j` at `j*words..`.
+    conn: Vec<u64>,
+    /// Polarity masks (`sign > 0`), subset of `conn`, same layout.
+    pos: Vec<u64>,
+    /// Folded integer thresholds, copied from the scalar layer.
+    thresholds: Vec<i64>,
+}
+
+impl PackedLayer {
+    /// Packs a row-major sign matrix (`inputs x outputs`, entries −1, 0 or
+    /// +1) and its folded thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn from_parts(signs: &[i8], inputs: usize, outputs: usize, thresholds: &[i64]) -> Self {
+        assert_eq!(signs.len(), inputs * outputs, "sign shape mismatch");
+        assert_eq!(thresholds.len(), outputs, "threshold count mismatch");
+        let words = inputs.div_ceil(64);
+        let mut conn = vec![0u64; outputs * words];
+        let mut pos = vec![0u64; outputs * words];
+        for i in 0..inputs {
+            let (w, bit) = (i >> 6, 1u64 << (i & 63));
+            let row = &signs[i * outputs..(i + 1) * outputs];
+            for (j, &s) in row.iter().enumerate() {
+                if s != 0 {
+                    conn[j * words + w] |= bit;
+                }
+                if s > 0 {
+                    pos[j * words + w] |= bit;
+                }
+            }
+        }
+        Self {
+            inputs,
+            outputs,
+            words,
+            conn,
+            pos,
+            thresholds: thresholds.to_vec(),
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Words per packed column.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Integer firing threshold of neuron `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn threshold(&self, j: usize) -> i64 {
+        self.thresholds[j]
+    }
+
+    /// Neuron `j`'s packed `(connectivity, polarity)` column words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> (&[u64], &[u64]) {
+        assert!(j < self.outputs, "neuron {j} out of range");
+        let r = j * self.words..(j + 1) * self.words;
+        (&self.conn[r.clone()], &self.pos[r])
+    }
+
+    /// The sign of synapse `(i, j)` recovered from the bit masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn sign(&self, i: usize, j: usize) -> i8 {
+        assert!(
+            i < self.inputs && j < self.outputs,
+            "synapse ({i},{j}) out of range"
+        );
+        let (w, bit) = (j * self.words + (i >> 6), i & 63);
+        if self.conn[w] >> bit & 1 == 0 {
+            0
+        } else if self.pos[w] >> bit & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Count of inhibitory (−1) synapses feeding neuron `j`: the popcount
+    /// of `conn & !pos` over the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn inhibitory_count(&self, j: usize) -> usize {
+        let (conn, pos) = self.column(j);
+        conn.iter()
+            .zip(pos)
+            .map(|(&c, &p)| (c & !p).count_ones() as usize)
+            .sum()
+    }
+
+    /// The contiguous popcount sweep over every column: adds each column's
+    /// pre-activation into `acc`. Kept `#[inline(always)]` so the
+    /// `#[target_feature]` wrappers below compile it with POPCNT/AVX2
+    /// enabled — the baseline x86-64 build would otherwise lower
+    /// `count_ones` to a multi-op bit hack.
+    #[inline(always)]
+    fn full_sweep(&self, xw: &[u64], acc: &mut [i64]) {
+        for (j, a) in acc.iter_mut().enumerate() {
+            let base = j * self.words;
+            let conn = &self.conn[base..base + self.words];
+            let pos = &self.pos[base..base + self.words];
+            let mut active = 0u32;
+            let mut excit = 0u32;
+            for ((&xv, &c), &p) in xw.iter().zip(conn).zip(pos) {
+                let xa = xv & c;
+                active += xa.count_ones();
+                excit += (xa & p).count_ones();
+            }
+            *a += 2 * i64::from(excit) - i64::from(active);
+        }
+    }
+
+    /// `full_sweep` compiled with the POPCNT instruction.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `popcnt` support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    unsafe fn full_sweep_popcnt(&self, xw: &[u64], acc: &mut [i64]) {
+        self.full_sweep(xw, acc);
+    }
+
+    /// `full_sweep` with a hand-vectorized AVX2 popcount (Mula's pshufb
+    /// nibble lookup): four 64-bit words per step, two byte-wise table
+    /// lookups plus one `psadbw` per popcount, accumulated in 64-bit
+    /// lanes. Tail words (`words % 4`) fall back to hardware POPCNT.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `avx2` and `popcnt` support at
+    /// runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn full_sweep_avx2(&self, xw: &[u64], acc: &mut [i64]) {
+        use std::arch::x86_64::{
+            __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_castsi256_si128,
+            _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8,
+            _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+            _mm_add_epi64, _mm_extract_epi64,
+        };
+        // Per-nibble popcounts for the pshufb lookup, repeated per lane.
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        // Byte-wise popcount of `v`: per-nibble lookups summed into byte
+        // lanes (each byte ends up <= 8). The caller accumulates these
+        // with `add_epi8` and folds into 64-bit lanes via one deferred
+        // `psadbw` per block instead of one per chunk.
+        let nib8 = |v: __m256i| -> __m256i {
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+            _mm256_add_epi8(
+                _mm256_shuffle_epi8(lookup, lo),
+                _mm256_shuffle_epi8(lookup, hi),
+            )
+        };
+        let hsum = |v: __m256i| -> i64 {
+            let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+            _mm_extract_epi64::<0>(s) + _mm_extract_epi64::<1>(s)
+        };
+        // Each 4-word chunk adds at most 8 to every byte lane, so byte
+        // accumulators stay exact for up to 31 chunks (124 words) between
+        // `psadbw` flushes.
+        const FLUSH_WORDS: usize = 31 * 4;
+        let vwords = self.words & !3;
+        for (j, a) in acc.iter_mut().enumerate() {
+            let base = j * self.words;
+            let conn = &self.conn[base..base + self.words];
+            let pos = &self.pos[base..base + self.words];
+            let mut vactive = _mm256_setzero_si256();
+            let mut vexcit = _mm256_setzero_si256();
+            let mut w = 0;
+            while w < vwords {
+                let block_end = vwords.min(w + FLUSH_WORDS);
+                let mut acc8_a = _mm256_setzero_si256();
+                let mut acc8_e = _mm256_setzero_si256();
+                while w < block_end {
+                    // SAFETY: `w + 3 < vwords <= words`, the length of
+                    // every slice indexed here, so each 32-byte load is in
+                    // bounds (loadu has no alignment requirement).
+                    let (xv, cv, pv) = unsafe {
+                        (
+                            _mm256_loadu_si256(xw.as_ptr().add(w).cast()),
+                            _mm256_loadu_si256(conn.as_ptr().add(w).cast()),
+                            _mm256_loadu_si256(pos.as_ptr().add(w).cast()),
+                        )
+                    };
+                    let xa = _mm256_and_si256(xv, cv);
+                    acc8_a = _mm256_add_epi8(acc8_a, nib8(xa));
+                    acc8_e = _mm256_add_epi8(acc8_e, nib8(_mm256_and_si256(xa, pv)));
+                    w += 4;
+                }
+                let zero = _mm256_setzero_si256();
+                vactive = _mm256_add_epi64(vactive, _mm256_sad_epu8(acc8_a, zero));
+                vexcit = _mm256_add_epi64(vexcit, _mm256_sad_epu8(acc8_e, zero));
+            }
+            let mut active = hsum(vactive);
+            let mut excit = hsum(vexcit);
+            for w in vwords..self.words {
+                let xa = xw[w] & conn[w];
+                active += i64::from(xa.count_ones());
+                excit += i64::from((xa & pos[w]).count_ones());
+            }
+            *a += 2 * excit - active;
+        }
+    }
+
+    /// Runtime-dispatched full sweep: picks the widest kernel the host
+    /// supports (detection is cached by `std`, one atomic load per call).
+    fn full_sweep_dispatch(&self, xw: &[u64], acc: &mut [i64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: avx2 implies popcnt on every shipping CPU, but
+                // check both to keep the contract airtight.
+                if std::arch::is_x86_feature_detected!("popcnt") {
+                    return unsafe { self.full_sweep_avx2(xw, acc) };
+                }
+            }
+            if std::arch::is_x86_feature_detected!("popcnt") {
+                return unsafe { self.full_sweep_popcnt(xw, acc) };
+            }
+        }
+        self.full_sweep(xw, acc);
+    }
+
+    /// Integer pre-activation of every output neuron, written into `acc`
+    /// (cleared first). Exactly [`crate::BinaryLayer::accumulate`] via the
+    /// popcount identity `acc = 2*popcount(xa & pos) - popcount(xa)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn accumulate_into(&self, x: &PackedFrame, acc: &mut Vec<i64>) {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        acc.clear();
+        acc.resize(self.outputs, 0);
+        self.full_sweep_dispatch(x.words(), acc);
+    }
+
+    /// Integer pre-activation of every output neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn accumulate(&self, x: &PackedFrame) -> Vec<i64> {
+        let mut acc = Vec::with_capacity(self.outputs);
+        self.accumulate_into(x, &mut acc);
+        acc
+    }
+
+    /// One end-of-step evaluation: accumulates into `acc` and thresholds
+    /// into `out` (resized to `outputs`, spikes bit-packed for the next
+    /// layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn step_into(&self, x: &PackedFrame, out: &mut PackedFrame, acc: &mut Vec<i64>) {
+        self.accumulate_into(x, acc);
+        out.reset(self.outputs);
+        for (j, (&a, &t)) in acc.iter().zip(&self.thresholds).enumerate() {
+            if a >= t {
+                out.words[j >> 6] |= 1u64 << (j & 63);
+            }
+        }
+    }
+
+    /// Adds the pre-activation contribution of the `rows`/`cols` tile to
+    /// `acc` (indexed by absolute neuron id) — the packed kernel behind
+    /// [`crate::SliceSchedule::sliced_step`]. Partial words at the row
+    /// range's edges are masked, so the sweep touches exactly the tile's
+    /// synapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or the frame fall outside the layer.
+    pub fn accumulate_rows_into(
+        &self,
+        x: &PackedFrame,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        acc: &mut [i64],
+    ) {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        assert!(rows.end <= self.inputs, "row range out of layer");
+        assert!(cols.end <= self.outputs, "column range out of layer");
+        if rows.is_empty() || cols.is_empty() {
+            return;
+        }
+        let (w0, w1) = (rows.start >> 6, (rows.end - 1) >> 6);
+        let lo_mask = !0u64 << (rows.start & 63);
+        let hi_mask = !0u64 >> (63 - ((rows.end - 1) & 63));
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("popcnt") {
+                // SAFETY: popcnt support verified the line above.
+                return unsafe {
+                    self.window_sweep_popcnt(x.words(), cols, w0, w1, lo_mask, hi_mask, acc)
+                };
+            }
+        }
+        self.window_sweep(x.words(), cols, w0, w1, lo_mask, hi_mask, acc);
+    }
+
+    /// The masked popcount window behind [`Self::accumulate_rows_into`].
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn window_sweep(
+        &self,
+        xw: &[u64],
+        cols: Range<usize>,
+        w0: usize,
+        w1: usize,
+        lo_mask: u64,
+        hi_mask: u64,
+        acc: &mut [i64],
+    ) {
+        let last = w1 - w0;
+        for j in cols {
+            let base = j * self.words;
+            let conn = &self.conn[base + w0..=base + w1];
+            let pos = &self.pos[base + w0..=base + w1];
+            let mut active = 0u32;
+            let mut excit = 0u32;
+            for (k, ((&xv, &c), &p)) in xw[w0..=w1].iter().zip(conn).zip(pos).enumerate() {
+                let mut xa = xv & c;
+                if k == 0 {
+                    xa &= lo_mask;
+                }
+                if k == last {
+                    xa &= hi_mask;
+                }
+                active += xa.count_ones();
+                excit += (xa & p).count_ones();
+            }
+            acc[j] += 2 * i64::from(excit) - i64::from(active);
+        }
+    }
+
+    /// `window_sweep` compiled with the POPCNT instruction.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified `popcnt` support at runtime.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "popcnt")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn window_sweep_popcnt(
+        &self,
+        xw: &[u64],
+        cols: Range<usize>,
+        w0: usize,
+        w1: usize,
+        lo_mask: u64,
+        hi_mask: u64,
+        acc: &mut [i64],
+    ) {
+        self.window_sweep(xw, cols, w0, w1, lo_mask, hi_mask, acc);
+    }
+}
+
+/// Reusable per-thread buffers for a multi-layer packed forward pass.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    x: PackedFrame,
+    y: PackedFrame,
+    acc: Vec<i64>,
+}
+
+/// A fully bit-packed network: the XNOR/popcount inference engine.
+///
+/// Built from a [`BinarizedSnn`]; every result is bitwise identical to the
+/// scalar path (`step_scalar` / `forward_counts_scalar` /
+/// `predict_scalar`), which is kept as the oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedSnn {
+    layers: Vec<PackedLayer>,
+}
+
+impl PackedSnn {
+    /// Packs every layer of a binarized network.
+    pub fn from_network(net: &BinarizedSnn) -> Self {
+        Self {
+            layers: net.layers().iter().map(|l| l.packed().clone()).collect(),
+        }
+    }
+
+    /// Builds from explicit packed layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or shapes do not chain.
+    pub fn from_layers(layers: Vec<PackedLayer>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].outputs(), w[1].inputs(), "layer shapes do not chain");
+        }
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The packed layers in order.
+    pub fn layers(&self) -> &[PackedLayer] {
+        &self.layers
+    }
+
+    /// Output classes.
+    pub fn classes(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    fn step_scratch(&self, s: &mut Scratch) {
+        for layer in &self.layers {
+            layer.step_into(&s.x, &mut s.y, &mut s.acc);
+            std::mem::swap(&mut s.x, &mut s.y);
+        }
+    }
+
+    /// One stateless time step with end-of-step firing, 64 synapses per
+    /// word-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn step(&self, input: &[bool]) -> Vec<bool> {
+        let mut s = Scratch::default();
+        s.x.fill_from_bools(input);
+        self.step_scratch(&mut s);
+        s.x.to_bools()
+    }
+
+    fn forward_counts_scratch(&self, frames: &[Vec<bool>], s: &mut Scratch) -> Vec<u32> {
+        let mut counts = vec![0u32; self.classes()];
+        for f in frames {
+            s.x.fill_from_bools(f);
+            self.step_scratch(s);
+            for (j, c) in counts.iter_mut().enumerate() {
+                *c += u32::from(s.x.get(j));
+            }
+        }
+        counts
+    }
+
+    /// Runs `frames`, returning per-class spike counts.
+    pub fn forward_counts(&self, frames: &[Vec<bool>]) -> Vec<u32> {
+        self.forward_counts_scratch(frames, &mut Scratch::default())
+    }
+
+    /// Predicted class for `frames` (argmax of spike counts, ties to the
+    /// lowest index — the same rule as the scalar and float references).
+    pub fn predict(&self, frames: &[Vec<bool>]) -> usize {
+        argmax_low(&self.forward_counts(frames))
+    }
+
+    /// Predicts every item of a dataset (one frame sequence per item) on a
+    /// pool of `workers` scoped threads.
+    ///
+    /// Items are split into contiguous chunks, one reused scratch buffer
+    /// buffer set per worker, and each worker writes only its own output
+    /// slots — so the result is in input order and bitwise identical to
+    /// the sequential pass for any worker count (`workers <= 1` runs on
+    /// the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or if a worker thread panics (none
+    /// originate in the engine itself).
+    pub fn predict_batch(&self, items: &[Vec<Vec<bool>>], workers: usize) -> Vec<usize> {
+        let mut preds = vec![0usize; items.len()];
+        if workers <= 1 || items.len() <= 1 {
+            let mut s = Scratch::default();
+            for (item, slot) in items.iter().zip(preds.iter_mut()) {
+                *slot = argmax_low(&self.forward_counts_scratch(item, &mut s));
+            }
+            return preds;
+        }
+        let chunk = items.len().div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (item_chunk, out_chunk) in items.chunks(chunk).zip(preds.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    let mut s = Scratch::default();
+                    for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = argmax_low(&self.forward_counts_scratch(item, &mut s));
+                    }
+                });
+            }
+        })
+        .expect("predict_batch worker panicked");
+        preds
+    }
+}
+
+/// Argmax with ties to the lowest index, matching the float reference.
+fn argmax_low(counts: &[u32]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("at least one class")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::BinaryLayer;
+
+    /// Deterministic xorshift for test fixtures.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_net(seed: u64, shapes: &[(usize, usize)]) -> BinarizedSnn {
+        let mut st = seed | 1;
+        let layers = shapes
+            .iter()
+            .map(|&(ins, outs)| {
+                let signs: Vec<i8> = (0..ins * outs)
+                    .map(|_| match xorshift(&mut st) % 5 {
+                        0 => 0,
+                        1 | 2 => -1,
+                        _ => 1,
+                    })
+                    .collect();
+                let thresholds: Vec<i64> = (0..outs)
+                    .map(|_| 1 + (xorshift(&mut st) % 6) as i64)
+                    .collect();
+                BinaryLayer::from_signs(signs, ins, outs, thresholds)
+            })
+            .collect();
+        BinarizedSnn::from_layers(layers)
+    }
+
+    fn random_frame(st: &mut u64, len: usize) -> Vec<bool> {
+        (0..len).map(|_| xorshift(st).is_multiple_of(3)).collect()
+    }
+
+    #[test]
+    fn frame_roundtrip_and_pad_bits() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let mut st = 7 + len as u64;
+            let bits = random_frame(&mut st, len);
+            let f = PackedFrame::from_bools(&bits);
+            assert_eq!(f.to_bools(), bits, "len {len}");
+            assert_eq!(f.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+            // Pad bits stay zero.
+            if len % 64 != 0 && !f.words().is_empty() {
+                let last = *f.words().last().unwrap();
+                assert_eq!(last >> (len % 64), 0, "pad bits set at len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_sign_matches_scalar_sign() {
+        let net = random_net(99, &[(70, 9)]);
+        let layer = &net.layers()[0];
+        for i in 0..70 {
+            for j in 0..9 {
+                assert_eq!(layer.packed().sign(i, j), layer.sign(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_across_word_boundaries() {
+        for ins in [1usize, 3, 63, 64, 65, 127, 128, 200] {
+            let net = random_net(ins as u64 * 31 + 1, &[(ins, 7)]);
+            let layer = &net.layers()[0];
+            let mut st = 0xABCDu64 + ins as u64;
+            for _ in 0..8 {
+                let frame = random_frame(&mut st, ins);
+                let packed = layer.packed().accumulate(&PackedFrame::from_bools(&frame));
+                assert_eq!(packed, layer.accumulate(&frame), "ins {ins}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_inhibitory_column_accumulates_negative() {
+        let l = BinaryLayer::from_signs(vec![-1; 100], 100, 1, vec![1]);
+        let net = BinarizedSnn::from_layers(vec![l]);
+        let p = PackedSnn::from_network(&net);
+        let frame = vec![true; 100];
+        assert_eq!(
+            net.layers()[0]
+                .packed()
+                .accumulate(&PackedFrame::from_bools(&frame)),
+            vec![-100]
+        );
+        assert_eq!(p.step(&frame), vec![false]);
+    }
+
+    #[test]
+    fn step_matches_scalar_on_multilayer_net() {
+        let net = random_net(5, &[(97, 33), (33, 10)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0xFEEDu64;
+        for _ in 0..32 {
+            let input = random_frame(&mut st, 97);
+            assert_eq!(p.step(&input), net.step_scalar(&input));
+        }
+    }
+
+    #[test]
+    fn forward_counts_and_predict_match_scalar() {
+        let net = random_net(17, &[(80, 21), (21, 5)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 3u64;
+        let frames: Vec<Vec<bool>> = (0..12).map(|_| random_frame(&mut st, 80)).collect();
+        assert_eq!(
+            p.forward_counts(&frames),
+            net.forward_counts_scalar(&frames)
+        );
+        assert_eq!(p.predict(&frames), net.predict_scalar(&frames));
+        // Empty frame sequences are fine and agree too.
+        assert_eq!(p.forward_counts(&[]), net.forward_counts_scalar(&[]));
+        assert_eq!(p.predict(&[]), net.predict_scalar(&[]));
+    }
+
+    #[test]
+    fn accumulate_rows_tiles_sum_to_full_accumulate() {
+        let net = random_net(23, &[(150, 11)]);
+        let pk = net.layers()[0].packed();
+        let mut st = 0x5EEDu64;
+        let frame = PackedFrame::from_bools(&random_frame(&mut st, 150));
+        let full = pk.accumulate(&frame);
+        for tile in [1usize, 16, 64, 65, 100] {
+            let mut acc = vec![0i64; 11];
+            let mut r0 = 0;
+            while r0 < 150 {
+                let r1 = (r0 + tile).min(150);
+                let mut c0 = 0;
+                while c0 < 11 {
+                    let c1 = (c0 + tile).min(11);
+                    pk.accumulate_rows_into(&frame, r0..r1, c0..c1, &mut acc);
+                    c0 = c1;
+                }
+                r0 = r1;
+            }
+            assert_eq!(acc, full, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_worker_invariant_and_input_ordered() {
+        let net = random_net(41, &[(90, 17), (17, 6)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0xB00Cu64;
+        let items: Vec<Vec<Vec<bool>>> = (0..13)
+            .map(|_| (0..5).map(|_| random_frame(&mut st, 90)).collect())
+            .collect();
+        let reference: Vec<usize> = items.iter().map(|it| p.predict(it)).collect();
+        for workers in [1usize, 2, 3, 7, 16] {
+            assert_eq!(p.predict_batch(&items, workers), reference, "w={workers}");
+        }
+        assert_eq!(p.predict_batch(&[], 4), vec![]);
+    }
+
+    #[test]
+    fn inhibitory_count_matches_popcount_identity() {
+        let net = random_net(77, &[(130, 9)]);
+        let layer = &net.layers()[0];
+        for j in 0..9 {
+            let scalar = (0..130).filter(|&i| layer.sign(i, j) < 0).count();
+            assert_eq!(layer.packed().inhibitory_count(j), scalar, "col {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics() {
+        let net = random_net(1, &[(10, 3)]);
+        let _ = PackedSnn::from_network(&net).step(&[true; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_packed_layers_panic() {
+        let a = PackedLayer::from_parts(&[1, 1], 1, 2, &[1, 1]);
+        let b = PackedLayer::from_parts(&[1, 1, 1], 3, 1, &[1]);
+        let _ = PackedSnn::from_layers(vec![a, b]);
+    }
+}

@@ -161,7 +161,10 @@ impl<'a> SsnnExecutor<'a> {
             assert_eq!(x.len(), layer.inputs(), "layer {l} input width mismatch");
             let mut next = vec![false; layer.outputs()];
             for (j, fired) in next.iter_mut().enumerate() {
-                let signs = layer.column_signs(j);
+                // Synapse signs come from the layer's packed columns: two
+                // bit tests per visit instead of materializing a `Vec<i8>`
+                // column per neuron per step.
+                let (conn, pos) = layer.packed().column(j);
                 let theta = layer.threshold(j);
                 // Hardware mapping: the counter is preloaded so that the
                 // carry-out happens when the running sum reaches theta;
@@ -172,10 +175,14 @@ impl<'a> SsnnExecutor<'a> {
                 let mut underflow = false;
                 let mut last_sign: Option<i8> = None;
                 for &i in &self.orders[l][j] {
-                    if !x[i] || signs[i] == 0 {
+                    if !x[i] || conn[i >> 6] >> (i & 63) & 1 == 0 {
                         continue; // inactive input or open cross-point switch
                     }
-                    let s = signs[i];
+                    let s: i8 = if pos[i >> 6] >> (i & 63) & 1 == 1 {
+                        1
+                    } else {
+                        -1
+                    };
                     if last_sign != Some(s) {
                         if last_sign.is_some() {
                             stats.polarity_switches += 1;

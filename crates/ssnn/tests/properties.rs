@@ -5,12 +5,59 @@ use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::bitslice::SliceSchedule;
 use sushi_ssnn::bucketing::{analyze_excursion, bucketed_order, inhibitory_first};
 use sushi_ssnn::encode::encode_slice_step;
+use sushi_ssnn::packed::PackedSnn;
 use sushi_ssnn::quantize::QuantizedLayer;
 use sushi_ssnn::stateless::{FireSemantics, SsnnExecutor};
 
 /// Strategy: a sign vector of the given maximum length.
 fn signs(max_len: usize) -> impl Strategy<Value = Vec<i8>> {
     prop::collection::vec(prop_oneof![Just(1i8), Just(-1i8)], 1..max_len)
+}
+
+/// Deterministically expands a seed into a random network whose layer
+/// widths deliberately straddle `u64` word boundaries (1..≈150 inputs),
+/// with zero signs (open switches) mixed in and column 0 of the first
+/// layer forced all-inhibitory.
+fn net_from_seed(seed: u64, ins: usize, hidden: usize, outs: usize) -> BinarizedSnn {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    let mut layer = |i: usize, o: usize, force_inhibitory_col0: bool| {
+        let sgn: Vec<i8> = (0..i * o)
+            .map(|idx| {
+                if force_inhibitory_col0 && idx % o == 0 {
+                    -1
+                } else {
+                    match next() % 5 {
+                        0 => 0,
+                        1 | 2 => -1,
+                        _ => 1,
+                    }
+                }
+            })
+            .collect();
+        let thresholds: Vec<i64> = (0..o).map(|_| 1 + (next() % 5) as i64).collect();
+        BinaryLayer::from_signs(sgn, i, o, thresholds)
+    };
+    BinarizedSnn::from_layers(vec![layer(ins, hidden, true), layer(hidden, outs, false)])
+}
+
+/// Deterministic spike frames of the given width (~1/3 density).
+fn frames_from_seed(seed: u64, count: usize, width: usize) -> Vec<Vec<bool>> {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    (0..count)
+        .map(|_| (0..width).map(|_| next() % 3 == 0).collect())
+        .collect()
 }
 
 proptest! {
@@ -161,6 +208,51 @@ proptest! {
             .sum();
         let float_fires = float_sum >= 1.0 - 1e-6;
         prop_assert_eq!(q.step(&active), vec![float_fires]);
+    }
+
+    /// The packed XNOR/popcount engine is a bitwise-exact drop-in for the
+    /// scalar oracle: spikes, counts and predictions agree for random
+    /// layer shapes (widths straddling the 64-bit word boundary, zero
+    /// signs, an all-inhibitory column) and frame sets including empty.
+    #[test]
+    fn packed_matches_scalar(
+        ins in 1usize..150,
+        hidden in 1usize..70,
+        outs in 1usize..12,
+        seed in any::<u64>(),
+        n_frames in 0usize..8,
+    ) {
+        let net = net_from_seed(seed, ins, hidden, outs);
+        let packed = PackedSnn::from_network(&net);
+        let frames = frames_from_seed(seed ^ 0xF00D, n_frames, ins);
+        for f in &frames {
+            prop_assert_eq!(packed.step(f), net.step_scalar(f));
+            prop_assert_eq!(net.step(f), net.step_scalar(f));
+        }
+        prop_assert_eq!(packed.forward_counts(&frames), net.forward_counts_scalar(&frames));
+        prop_assert_eq!(net.forward_counts(&frames), net.forward_counts_scalar(&frames));
+        prop_assert_eq!(packed.predict(&frames), net.predict_scalar(&frames));
+        prop_assert_eq!(net.predict(&frames), net.predict_scalar(&frames));
+    }
+
+    /// `predict_batch` is deterministic and input-ordered for any worker
+    /// count: 1, 2 and 7 workers all reproduce the sequential pass.
+    #[test]
+    fn predict_batch_is_worker_invariant(
+        ins in 1usize..100,
+        outs in 2usize..10,
+        seed in any::<u64>(),
+        n_items in 0usize..12,
+    ) {
+        let net = net_from_seed(seed, ins, 20, outs);
+        let packed = PackedSnn::from_network(&net);
+        let items: Vec<Vec<Vec<bool>>> = (0..n_items)
+            .map(|k| frames_from_seed(seed ^ (k as u64 + 1), 3, ins))
+            .collect();
+        let reference: Vec<usize> = items.iter().map(|it| packed.predict(it)).collect();
+        for workers in [1usize, 2, 7] {
+            prop_assert_eq!(&packed.predict_batch(&items, workers), &reference, "workers={}", workers);
+        }
     }
 
     /// Every encoded slice schedule passes the Section 5.2 protocol

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the sim_engine criterion benchmarks and writes a machine-readable
-# summary with the commit hash and headline throughput numbers.
+# Runs the criterion benchmarks and writes machine-readable summaries with
+# the commit hash and headline throughput numbers.
 #
-#   scripts/bench.sh            full run -> BENCH_sim.json (tracked baseline)
-#   scripts/bench.sh --smoke    tiny budget -> temp file, structural checks only
+#   scripts/bench.sh            full run -> BENCH_sim.json + BENCH_ssnn.json
+#                               (tracked baselines)
+#   scripts/bench.sh --smoke    tiny budget -> temp files, structural checks
 #
 # The vendored criterion stand-in appends one JSON line per benchmark to
 # $CRITERION_JSON; this script assembles those lines with jq.
@@ -13,27 +14,35 @@ cd "$(dirname "$0")/.."
 mode=full
 [[ "${1:-}" == "--smoke" ]] && mode=smoke
 
-raw="$(mktemp)"
-cleanup() { rm -f "$raw" "${tmp_out:-}"; }
+raw_sim="$(mktemp)"
+raw_ssnn="$(mktemp)"
+cleanup() { rm -f "$raw_sim" "$raw_ssnn" "${tmp_sim:-}" "${tmp_ssnn:-}"; }
 trap cleanup EXIT
 
 if [[ "$mode" == smoke ]]; then
   # One warm-up plus two samples per benchmark: exercises the full path
   # (bench targets, JSON emission, jq assembly) in seconds.
   export CRITERION_SAMPLES=2 CRITERION_MEASUREMENT_MS=200
-  tmp_out="$(mktemp)"
-  out="$tmp_out"
+  tmp_sim="$(mktemp)"
+  tmp_ssnn="$(mktemp)"
+  out_sim="$tmp_sim"
+  out_ssnn="$tmp_ssnn"
 else
-  out="BENCH_sim.json"
+  out_sim="BENCH_sim.json"
+  out_ssnn="BENCH_ssnn.json"
 fi
 
 echo "==> cargo bench -p sushi-bench --bench sim_engine ($mode)"
-CRITERION_JSON="$raw" cargo bench -q -p sushi-bench --bench sim_engine
+CRITERION_JSON="$raw_sim" cargo bench -q -p sushi-bench --bench sim_engine
+
+echo "==> cargo bench -p sushi-bench --bench table3_inference ($mode)"
+CRITERION_JSON="$raw_ssnn" cargo bench -q -p sushi-bench --bench table3_inference
 
 commit="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
 git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
+stamp="$(date -u +%FT%TZ)"
 
-jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$(date -u +%FT%TZ)" '
+jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" '
   (map(select(.id == "jtl_pipeline_200x100_pulses")) | first) as $jtl
   | (map(select(.id == "jtl_batch32_sequential")) | first) as $batch
   | {
@@ -47,19 +56,60 @@ jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$(date -u +%FT%TZ)" 
           (if $batch then (32e9 / $batch.mean_ns * 1000 | round / 1000) else null end)
       },
       benchmarks: .
-    }' "$raw" > "$out"
+    }' "$raw_sim" > "$out_sim"
 
-# Sanity-gate the output in both modes: all six benchmarks reported and
-# both headline rates present and positive.
+# Sanity-gate the sim output in both modes: all six benchmarks reported
+# and both headline rates present and positive.
 jq -e '
   .commit and (.benchmarks | length) >= 6
   and .headline.jtl_pipeline_200x100_melem_per_s > 0
   and .headline.jtl_batch32_sequential_items_per_s > 0
-' "$out" >/dev/null || { echo "bench.sh: $out failed validation" >&2; exit 1; }
+' "$out_sim" >/dev/null || { echo "bench.sh: $out_sim failed validation" >&2; exit 1; }
+
+# The packed-vs-scalar SSNN headline: images/s for both engines on the
+# paper's 784-800-10 shape, and the speedup ratio between them.
+jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" '
+  (map(select(.id == "packed_predict_784_800_10")) | first) as $packed
+  | (map(select(.id == "scalar_predict_784_800_10")) | first) as $scalar
+  | {
+      commit: $commit,
+      mode: $mode,
+      generated_utc: $date,
+      headline: {
+        packed_images_per_s:
+          (if $packed then ($packed.elem_per_s * 1000 | round / 1000) else null end),
+        scalar_images_per_s:
+          (if $scalar then ($scalar.elem_per_s * 1000 | round / 1000) else null end),
+        packed_over_scalar_speedup:
+          (if ($packed and $scalar and ($scalar.elem_per_s > 0))
+           then ($packed.elem_per_s / $scalar.elem_per_s * 100 | round / 100)
+           else null end)
+      },
+      benchmarks: .
+    }' "$raw_ssnn" > "$out_ssnn"
+
+# Structural gate in both modes: the packed and scalar headline rates are
+# present and positive and the speedup is computable.
+jq -e '
+  .commit and (.benchmarks | length) >= 8
+  and .headline.packed_images_per_s > 0
+  and .headline.scalar_images_per_s > 0
+  and .headline.packed_over_scalar_speedup > 0
+' "$out_ssnn" >/dev/null || { echo "bench.sh: $out_ssnn failed validation" >&2; exit 1; }
+
+# Performance gate in full mode only (smoke budgets are too noisy): the
+# packed engine must hold at least an 8x throughput lead over the scalar
+# oracle, the PR's acceptance bar.
+if [[ "$mode" == full ]]; then
+  jq -e '.headline.packed_over_scalar_speedup >= 8' "$out_ssnn" >/dev/null \
+    || { echo "bench.sh: packed speedup below 8x in $out_ssnn" >&2; exit 1; }
+fi
 
 if [[ "$mode" == smoke ]]; then
-  echo "smoke bench OK ($(jq -r '.benchmarks | length' "$out") benchmarks, output validated)"
+  echo "smoke bench OK ($(jq -r '.benchmarks | length' "$out_sim")+$(jq -r '.benchmarks | length' "$out_ssnn") benchmarks, outputs validated)"
 else
-  echo "wrote $out:"
-  jq '.headline' "$out"
+  echo "wrote $out_sim:"
+  jq '.headline' "$out_sim"
+  echo "wrote $out_ssnn:"
+  jq '.headline' "$out_ssnn"
 fi

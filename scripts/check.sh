@@ -24,6 +24,7 @@ echo "==> bench metrics smoke run"
 # binary's println! would die on SIGPIPE.
 bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
 grep -q "hot cells:" <<<"$bench_out"
+grep -q "packed SSNN engine" <<<"$bench_out"
 
 echo "==> criterion bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
