@@ -10,9 +10,14 @@
 //!
 //! The extra `bench` name (not part of the default run) prints the
 //! observability drill-down: hot-cell and per-worker metrics tables for
-//! the fig16 cell-accurate run and an end-to-end evaluation.
+//! the fig16 cell-accurate run and an end-to-end evaluation. The extra
+//! `serve` name (also opt-in) runs the serving-throughput scenarios
+//! (serialized / micro-batched / overload) and, when `SERVE_JSON` names
+//! a file, writes the `BENCH_serve.json` payload there.
 
 use sushi_core::experiments as exp;
+
+mod serve_bench;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +37,10 @@ fn main() {
     // Opt-in only: metrics instrumentation is not part of the paper run.
     if selected.contains(&"bench") {
         println!("{}\n", exp::bench_metrics(scale));
+    }
+    // Opt-in only: the serving-throughput scenarios (BENCH_serve.json).
+    if selected.contains(&"serve") {
+        println!("{}\n", serve_bench::serve_report(quick));
     }
     if want("table1") {
         println!("{}\n", exp::table1());

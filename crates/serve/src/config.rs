@@ -1,0 +1,103 @@
+//! Serving-side configuration: micro-batch trigger, admission bound and
+//! inference parallelism.
+
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`](crate::Server).
+///
+/// The batcher coalesces admitted requests into one inference batch when
+/// *either* trigger fires:
+///
+/// * **size** — `max_batch` requests are waiting, or
+/// * **deadline** — the oldest waiting request has been queued for
+///   `max_delay`.
+///
+/// Admission is bounded by `queue_capacity`: a request arriving at a full
+/// queue is shed immediately with
+/// [`ServeError::Overloaded`](crate::ServeError::Overloaded) instead of
+/// growing the queue (and every admitted request's latency) without
+/// bound.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use sushi_serve::ServeConfig;
+///
+/// let cfg = ServeConfig::new()
+///     .max_batch(16)
+///     .max_delay(Duration::from_millis(1))
+///     .queue_capacity(64)
+///     .workers(2);
+/// assert_eq!(cfg.max_batch, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Size trigger: largest batch handed to the engine in one sweep.
+    pub max_batch: usize,
+    /// Deadline trigger: longest the oldest admitted request waits before
+    /// its (possibly partial) batch is dispatched anyway.
+    pub max_delay: Duration,
+    /// Admission bound: requests beyond this many waiting are shed.
+    pub queue_capacity: usize,
+    /// Inference worker threads per batch (`PackedSnn::predict_batch`);
+    /// `1` runs batches on the batcher thread with one long-lived scratch.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 128,
+            workers,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration (batch 32, 2 ms deadline, capacity 128,
+    /// one worker per CPU).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the size trigger (clamped to at least 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the deadline trigger.
+    pub fn max_delay(mut self, max_delay: Duration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the admission bound (clamped to at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-batch inference worker count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let cfg = ServeConfig::new().max_batch(0).queue_capacity(0).workers(0);
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.workers, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # sushi-serve — long-running SSNN inference service
+//!
+//! The offline pipeline (`sushi-ssnn`) answers "how fast can we classify
+//! a dataset we already hold?". This crate answers the serving question:
+//! many concurrent clients each submit *one* image and wait for its
+//! class. Serving them one-by-one wastes the batch engine; queueing them
+//! without bound wastes the clients. `sushi-serve` sits in between:
+//!
+//! * **Dynamic micro-batching** — admitted requests are coalesced into a
+//!   batch dispatched when either `max_batch` requests are waiting
+//!   (size trigger) or the oldest has waited `max_delay` (deadline
+//!   trigger), then fed to [`sushi_ssnn::PackedSnn::predict_batch`].
+//!   Served predictions are bitwise identical to offline inference.
+//! * **Admission control / backpressure** — the request queue is bounded
+//!   (`queue_capacity`); a request arriving at a full queue is shed
+//!   immediately with a structured [`ServeError::Overloaded`] instead of
+//!   silently inflating everyone's latency.
+//! * **Front ends** — an in-process [`ServeHandle`] for harness use, and
+//!   a Unix-domain-socket front end ([`socket`]) with a tiny length-free
+//!   binary protocol for out-of-process clients.
+//! * **Load generation** — [`loadgen`] drives a server closed-loop
+//!   (fixed clients, back-to-back) or open-loop (fixed arrival rate,
+//!   latency measured from *scheduled* arrival so coordinated omission
+//!   does not hide queueing) and reports p50/p95/p99 latency and
+//!   sustained images/s.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sushi_serve::{ServeConfig, Server};
+//! use sushi_ssnn::{PackedLayer, PackedSnn};
+//!
+//! // A toy 4-input, 2-class network; real callers pack a trained net.
+//! let layer = PackedLayer::from_parts(&[1; 8], 4, 2, &[0, 0]);
+//! let snn = PackedSnn::from_layers(vec![layer]);
+//!
+//! let server = Server::start(snn, ServeConfig::new().max_batch(8).workers(1));
+//! let handle = server.handle();
+//! let prediction = handle.predict(vec![vec![true, false, true, false]]).unwrap();
+//! assert!(prediction.class < 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod loadgen;
+mod server;
+#[cfg(unix)]
+pub mod socket;
+
+pub use config::ServeConfig;
+pub use server::{Prediction, ServeError, ServeHandle, Server, ServerStats};

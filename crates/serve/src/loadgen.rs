@@ -1,0 +1,272 @@
+//! Open- and closed-loop load generation against a running server, with
+//! percentile latency reporting.
+//!
+//! * **Closed loop** — `clients` threads each submit back-to-back: a new
+//!   request leaves only when the previous answer arrives. Measures the
+//!   server's sustainable throughput at a fixed concurrency.
+//! * **Open loop** — requests are due on an absolute schedule derived
+//!   from a target rate, independent of how fast answers return, and
+//!   latency is measured from the *scheduled* arrival time. A server
+//!   that falls behind therefore shows the queueing delay instead of
+//!   hiding it (no coordinated omission).
+
+use std::time::{Duration, Instant};
+
+use sushi_sim::Json;
+
+use crate::{ServeError, ServeHandle};
+
+/// Latency percentiles over one load-generation run, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of samples; all-zero when `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+                mean_us: 0.0,
+            };
+        }
+        let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        us.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let pct = |p: f64| {
+            let idx = ((us.len() as f64 * p).ceil() as usize).clamp(1, us.len()) - 1;
+            us[idx]
+        };
+        Self {
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: us[us.len() - 1],
+            mean_us: us.iter().sum::<f64>() / us.len() as f64,
+        }
+    }
+
+    /// JSON object with one field per percentile.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p95_us", Json::Num(self.p95_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+            ("max_us", Json::Num(self.max_us)),
+            ("mean_us", Json::Num(self.mean_us)),
+        ])
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Generator threads used.
+    pub clients: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+    /// Requests submitted.
+    pub sent: u64,
+    /// Requests answered with a prediction.
+    pub ok: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Served predictions per wall-clock second.
+    pub images_per_s: f64,
+    /// Latency of served requests (closed loop: call to answer; open
+    /// loop: scheduled arrival to answer).
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// JSON object mirroring the struct, `latency` nested.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", Json::Str(self.mode.to_owned())),
+            ("clients", Json::UInt(self.clients as u64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            ("sent", Json::UInt(self.sent)),
+            ("ok", Json::UInt(self.ok)),
+            ("rejected", Json::UInt(self.rejected)),
+            ("images_per_s", Json::Num(self.images_per_s)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    samples: Vec<Duration>,
+}
+
+fn merge(mode: &'static str, clients: usize, wall_s: f64, tallies: Vec<ClientTally>) -> LoadReport {
+    let mut samples = Vec::new();
+    let (mut sent, mut ok, mut rejected) = (0u64, 0u64, 0u64);
+    for mut t in tallies {
+        sent += t.sent;
+        ok += t.ok;
+        rejected += t.rejected;
+        samples.append(&mut t.samples);
+    }
+    LoadReport {
+        mode,
+        clients,
+        wall_s,
+        sent,
+        ok,
+        rejected,
+        images_per_s: if wall_s > 0.0 {
+            ok as f64 / wall_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_samples(&samples),
+    }
+}
+
+fn record(tally: &mut ClientTally, result: &Result<crate::Prediction, ServeError>, lat: Duration) {
+    tally.sent += 1;
+    match result {
+        Ok(_) => {
+            tally.ok += 1;
+            tally.samples.push(lat);
+        }
+        Err(ServeError::Overloaded { .. }) => tally.rejected += 1,
+        // ShuttingDown / BadRequest: counted as sent but neither served
+        // nor shed; load runs against a live server should not see them.
+        Err(_) => {}
+    }
+}
+
+/// Runs `clients` back-to-back submitter threads for `duration`, cycling
+/// through `images` (each an image's frame sequence).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or `clients` is zero.
+pub fn closed_loop(
+    handle: &ServeHandle,
+    images: &[Vec<Vec<bool>>],
+    clients: usize,
+    duration: Duration,
+) -> LoadReport {
+    assert!(!images.is_empty(), "need at least one image");
+    assert!(clients > 0, "need at least one client");
+    let start = Instant::now();
+    let deadline = start + duration;
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut at = c; // stagger image cycling across clients
+                    while Instant::now() < deadline {
+                        let image = &images[at % images.len()];
+                        at += clients;
+                        let sent_at = Instant::now();
+                        let result = handle.predict(image.clone());
+                        record(&mut tally, &result, sent_at.elapsed());
+                    }
+                    tally
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load client panicked"))
+            .collect()
+    });
+    merge("closed", clients, start.elapsed().as_secs_f64(), tallies)
+}
+
+/// Submits requests on an absolute schedule at `rate_per_s` for
+/// `duration`, spread over `senders` threads (thread `s` owns arrivals
+/// `s, s + senders, ...`). Latency is measured from each request's
+/// scheduled arrival, so a backlogged server is charged its queueing
+/// delay.
+///
+/// # Panics
+///
+/// Panics if `images` is empty, `senders` is zero, or `rate_per_s` is
+/// not positive.
+pub fn open_loop(
+    handle: &ServeHandle,
+    images: &[Vec<Vec<bool>>],
+    rate_per_s: f64,
+    duration: Duration,
+    senders: usize,
+) -> LoadReport {
+    assert!(!images.is_empty(), "need at least one image");
+    assert!(senders > 0, "need at least one sender");
+    assert!(rate_per_s > 0.0, "need a positive rate");
+    let total = (rate_per_s * duration.as_secs_f64()).floor() as usize;
+    let start = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..senders)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    let mut k = s;
+                    while k < total {
+                        let due = start + Duration::from_secs_f64(k as f64 / rate_per_s);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let image = &images[k % images.len()];
+                        let result = handle.predict(image.clone());
+                        record(&mut tally, &result, due.elapsed());
+                        k += senders;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("load sender panicked"))
+            .collect()
+    });
+    merge("open", senders, start.elapsed().as_secs_f64(), tallies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles_are_order_statistics() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_handles_empty_and_single() {
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!(empty.p99_us, 0.0);
+        let one = LatencySummary::from_samples(&[Duration::from_micros(7)]);
+        assert_eq!(one.p50_us, 7.0);
+        assert_eq!(one.p99_us, 7.0);
+    }
+}

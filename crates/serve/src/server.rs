@@ -1,0 +1,331 @@
+//! In-process serving harness: bounded admission queue feeding a batcher
+//! thread that coalesces requests into dynamic micro-batches.
+//!
+//! Many client threads call [`ServeHandle::predict`] concurrently; each
+//! call blocks until its image has been classified (or shed).  A single
+//! batcher thread drains the queue in micro-batches triggered by size
+//! (`max_batch` waiting) or deadline (oldest request waited `max_delay`)
+//! and runs them through [`PackedSnn::predict_batch`], so served
+//! predictions are bitwise identical to offline batch inference.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sushi_ssnn::{PackedSnn, PredictScratch};
+
+use crate::ServeConfig;
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was shed immediately.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// Configured admission bound.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request was malformed (e.g. wrong frame width).
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+/// A served classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Winning output class.
+    pub class: usize,
+    /// Size of the micro-batch this request was served in (≥ 1).
+    pub batch_size: usize,
+}
+
+/// Cumulative server-side counters, readable at any time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed at admission (queue full).
+    pub rejected: u64,
+    /// Requests answered with a prediction.
+    pub served: u64,
+    /// Micro-batches dispatched to the engine.
+    pub batches: u64,
+    /// Largest queue depth observed at admission time.
+    pub max_queue_depth: usize,
+}
+
+impl ServerStats {
+    /// Mean images per dispatched micro-batch (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+}
+
+struct PendingRequest {
+    frames: Vec<Vec<bool>>,
+    enqueued: Instant,
+    responder: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<PendingRequest>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work: Condvar,
+    snn: PackedSnn,
+    cfg: ServeConfig,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicUsize,
+}
+
+/// A running micro-batching inference server.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops admission,
+/// drains every already-admitted request, and joins the batcher thread.
+///
+/// # Examples
+///
+/// ```
+/// use sushi_serve::{ServeConfig, Server};
+/// use sushi_ssnn::{PackedLayer, PackedSnn};
+///
+/// let layer = PackedLayer::from_parts(&[1; 8], 4, 2, &[0, 0]);
+/// let snn = PackedSnn::from_layers(vec![layer]);
+/// let server = Server::start(snn, ServeConfig::new().workers(1));
+/// let handle = server.handle();
+/// let image = vec![vec![true, false, true, false]];
+/// let served = handle.predict(image).unwrap();
+/// assert!(served.class < 2);
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher thread over `snn` with the given configuration.
+    pub fn start(snn: PackedSnn, cfg: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            snn,
+            cfg,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("sushi-serve-batcher".into())
+            .spawn(move || batcher_loop(&worker_shared))
+            .expect("spawn batcher thread");
+        Server {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// A cloneable client handle for submitting requests.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current cumulative counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            served: self.shared.served.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops admission, serves every already-admitted request, and joins
+    /// the batcher. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("serve lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.batcher.take() {
+            handle.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Client-side handle to a [`Server`]; cheap to clone and share across
+/// threads.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submits one image (its spike frames) and blocks until it is served
+    /// or shed.
+    ///
+    /// Rejections are immediate: a full queue returns
+    /// [`ServeError::Overloaded`] without blocking, and frames whose
+    /// width does not match the network return
+    /// [`ServeError::BadRequest`].
+    pub fn predict(&self, frames: Vec<Vec<bool>>) -> Result<Prediction, ServeError> {
+        let want = self.shared.snn.input_width();
+        if let Some(bad) = frames.iter().find(|f| f.len() != want) {
+            return Err(ServeError::BadRequest(format!(
+                "frame width {} does not match network input width {want}",
+                bad.len()
+            )));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = self.shared.state.lock().expect("serve lock poisoned");
+            if state.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            let depth = state.queue.len();
+            if depth >= self.shared.cfg.queue_capacity {
+                drop(state);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    depth,
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            state.queue.push_back(PendingRequest {
+                frames,
+                enqueued: Instant::now(),
+                responder: tx,
+            });
+            let depth = state.queue.len();
+            self.shared
+                .max_queue_depth
+                .fetch_max(depth, Ordering::Relaxed);
+        }
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.work.notify_all();
+        // The batcher always answers each drained request, and a batcher
+        // that exits first drops the sender, surfacing as ShuttingDown.
+        rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Snapshot of the current queue depth (diagnostic; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("serve lock poisoned")
+            .queue
+            .len()
+    }
+}
+
+/// Waits for a dispatchable batch, then drains up to `max_batch`
+/// requests. Returns `None` once the queue is empty after shutdown.
+fn collect_batch(shared: &Shared) -> Option<Vec<PendingRequest>> {
+    let mut state = shared.state.lock().expect("serve lock poisoned");
+    loop {
+        if state.queue.is_empty() {
+            if state.shutdown {
+                return None;
+            }
+            state = shared.work.wait(state).expect("serve lock poisoned");
+            continue;
+        }
+        // Something is waiting: dispatch when the size trigger fires, the
+        // deadline trigger fires, or shutdown demands an immediate drain.
+        if state.queue.len() >= shared.cfg.max_batch || state.shutdown {
+            break;
+        }
+        let oldest = state.queue.front().expect("non-empty queue").enqueued;
+        let now = Instant::now();
+        let deadline = oldest + shared.cfg.max_delay;
+        if now >= deadline {
+            break;
+        }
+        let (next, timeout) = shared
+            .work
+            .wait_timeout(state, deadline - now)
+            .expect("serve lock poisoned");
+        state = next;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let take = state.queue.len().min(shared.cfg.max_batch);
+    Some(state.queue.drain(..take).collect())
+}
+
+fn batcher_loop(shared: &Shared) {
+    let mut scratch = PredictScratch::new();
+    while let Some(batch) = collect_batch(shared) {
+        if batch.is_empty() {
+            continue;
+        }
+        let batch_size = batch.len();
+        let classes: Vec<usize> = if shared.cfg.workers <= 1 {
+            // Single-worker path: reuse one long-lived scratch across
+            // every request the server ever sees.
+            batch
+                .iter()
+                .map(|req| shared.snn.predict_with(&req.frames, &mut scratch))
+                .collect()
+        } else {
+            let frames: Vec<&[Vec<bool>]> = batch.iter().map(|req| req.frames.as_slice()).collect();
+            shared.snn.predict_batch(&frames, shared.cfg.workers)
+        };
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .served
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        for (req, class) in batch.into_iter().zip(classes) {
+            // A client that gave up (dropped its receiver) is fine to miss.
+            let _ = req.responder.send(Ok(Prediction { class, batch_size }));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Unix-domain-socket front end: a tiny fixed-layout binary protocol so
+//! out-of-process clients can reach a running [`Server`](crate::Server).
+//!
+//! ## Wire protocol (all integers little-endian)
+//!
+//! Request:
+//!
+//! ```text
+//! [u8 op = 1][u16 frame_count][u32 bits_per_frame]
+//! [frame_count x ceil(bits_per_frame / 8) bytes, frames bit-packed LSB-first]
+//! ```
+//!
+//! Response:
+//!
+//! ```text
+//! [u8 status][u32 class][u32 batch_size]
+//! ```
+//!
+//! with status `0` = ok, `1` = overloaded (shed), `2` = bad request,
+//! `3` = shutting down. `class` and `batch_size` are zero unless
+//! status is `0`. A connection carries any number of request/response
+//! pairs in sequence.
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{Prediction, ServeError, ServeHandle};
+
+const OP_PREDICT: u8 = 1;
+
+const STATUS_OK: u8 = 0;
+const STATUS_OVERLOADED: u8 = 1;
+const STATUS_BAD_REQUEST: u8 = 2;
+const STATUS_SHUTTING_DOWN: u8 = 3;
+
+fn pack_bits(frame: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; frame.len().div_ceil(8)];
+    for (i, &b) in frame.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+fn unpack_bits(bytes: &[u8], bits: usize) -> Vec<bool> {
+    (0..bits)
+        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+        .collect()
+}
+
+/// Serves one connection until the peer hangs up or sends garbage.
+fn serve_connection(mut conn: UnixStream, handle: &ServeHandle) -> std::io::Result<()> {
+    loop {
+        let mut header = [0u8; 7];
+        match conn.read_exact(&mut header) {
+            Ok(()) => {}
+            // Clean end-of-stream between requests.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let op = header[0];
+        let frame_count = u16::from_le_bytes([header[1], header[2]]) as usize;
+        let bits = u32::from_le_bytes([header[3], header[4], header[5], header[6]]) as usize;
+        if op != OP_PREDICT {
+            conn.write_all(&encode_response(&Err(
+                ServeError::BadRequest(String::new()),
+            )))?;
+            return Ok(());
+        }
+        let bytes_per_frame = bits.div_ceil(8);
+        let mut frames = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            let mut buf = vec![0u8; bytes_per_frame];
+            conn.read_exact(&mut buf)?;
+            frames.push(unpack_bits(&buf, bits));
+        }
+        let result = handle.predict(frames);
+        conn.write_all(&encode_response(&result))?;
+    }
+}
+
+fn encode_response(result: &Result<Prediction, ServeError>) -> [u8; 9] {
+    let (status, class, batch) = match result {
+        Ok(p) => (STATUS_OK, p.class as u32, p.batch_size as u32),
+        Err(ServeError::Overloaded { .. }) => (STATUS_OVERLOADED, 0, 0),
+        Err(ServeError::BadRequest(_)) => (STATUS_BAD_REQUEST, 0, 0),
+        Err(ServeError::ShuttingDown) => (STATUS_SHUTTING_DOWN, 0, 0),
+    };
+    let mut out = [0u8; 9];
+    out[0] = status;
+    out[1..5].copy_from_slice(&class.to_le_bytes());
+    out[5..9].copy_from_slice(&batch.to_le_bytes());
+    out
+}
+
+/// A socket front end bound to a filesystem path, fanning connections
+/// into a shared [`ServeHandle`].
+///
+/// Dropping the server stops accepting, joins the accept thread, and
+/// removes the socket file. In-flight connections finish serving their
+/// current request and then find the listener gone on reconnect.
+pub struct SocketServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds `path` (removing any stale socket file first) and starts the
+    /// accept loop; each connection gets its own serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the listener.
+    pub fn bind(path: impl AsRef<Path>, handle: ServeHandle) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("sushi-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { break };
+                    let conn_handle = handle.clone();
+                    // Connection threads are detached; they exit when the
+                    // peer disconnects or the inner server shuts down.
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(conn, &conn_handle);
+                    });
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Self {
+            path,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The filesystem path the server is listening on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection so it observes
+        // the stop flag even if no client ever arrives again.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A blocking client for the socket protocol.
+pub struct SocketClient {
+    conn: UnixStream,
+}
+
+impl SocketClient {
+    /// Connects to a [`SocketServer`] at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from connecting.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            conn: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one image and blocks for its prediction; server-side
+    /// rejections come back as the corresponding [`ServeError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the connection breaks or the server
+    /// answers with an unknown status byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` have inconsistent widths or overflow the
+    /// protocol's `u16`/`u32` header fields.
+    pub fn predict(
+        &mut self,
+        frames: &[Vec<bool>],
+    ) -> std::io::Result<Result<Prediction, ServeError>> {
+        let bits = frames.first().map_or(0, Vec::len);
+        assert!(
+            frames.iter().all(|f| f.len() == bits),
+            "all frames of one request must share a width"
+        );
+        let frame_count = u16::try_from(frames.len()).expect("at most 65535 frames per request");
+        let bits_u32 = u32::try_from(bits).expect("frame width fits in u32");
+        let mut msg = Vec::with_capacity(7 + frames.len() * bits.div_ceil(8));
+        msg.push(OP_PREDICT);
+        msg.extend_from_slice(&frame_count.to_le_bytes());
+        msg.extend_from_slice(&bits_u32.to_le_bytes());
+        for f in frames {
+            msg.extend_from_slice(&pack_bits(f));
+        }
+        self.conn.write_all(&msg)?;
+        let mut resp = [0u8; 9];
+        self.conn.read_exact(&mut resp)?;
+        let class = u32::from_le_bytes([resp[1], resp[2], resp[3], resp[4]]) as usize;
+        let batch_size = u32::from_le_bytes([resp[5], resp[6], resp[7], resp[8]]) as usize;
+        Ok(match resp[0] {
+            STATUS_OK => Ok(Prediction { class, batch_size }),
+            STATUS_OVERLOADED => Err(ServeError::Overloaded {
+                depth: 0,
+                capacity: 0,
+            }),
+            STATUS_BAD_REQUEST => Err(ServeError::BadRequest("rejected by server".into())),
+            STATUS_SHUTTING_DOWN => Err(ServeError::ShuttingDown),
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unknown status byte {other}"),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_packing_round_trips() {
+        let frame: Vec<bool> = (0..77).map(|i| i % 3 == 0).collect();
+        assert_eq!(unpack_bits(&pack_bits(&frame), frame.len()), frame);
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end tests of the serving layer: determinism against offline
+//! inference, both micro-batch triggers, backpressure, shutdown drain,
+//! the socket front end and the load generator.
+
+use std::time::Duration;
+
+use sushi_serve::loadgen;
+use sushi_serve::{ServeConfig, ServeError, Server};
+use sushi_ssnn::{PackedLayer, PackedSnn};
+
+/// A deterministic 32-16-10 packed network (xorshift weights, the same
+/// recipe as the benchmark fixtures, scaled down for test speed).
+fn test_net(seed: u64) -> PackedSnn {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    let mut layer = |ins: usize, outs: usize| {
+        let signs: Vec<i8> = (0..ins * outs)
+            .map(|_| match next() % 8 {
+                0 => 0,
+                1..=3 => -1,
+                _ => 1,
+            })
+            .collect();
+        let thresholds: Vec<i64> = (0..outs).map(|_| (next() % 9) as i64 - 4).collect();
+        PackedLayer::from_parts(&signs, ins, outs, &thresholds)
+    };
+    PackedSnn::from_layers(vec![layer(32, 16), layer(16, 10)])
+}
+
+/// Deterministic ~30%-dense spike images, `frames` frames each.
+fn spike_images(seed: u64, count: usize, width: usize, frames: usize) -> Vec<Vec<Vec<bool>>> {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    (0..count)
+        .map(|_| {
+            (0..frames)
+                .map(|_| (0..width).map(|_| next() % 10 < 3).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn served_predictions_match_offline_batch_bitwise() {
+    let snn = test_net(0xBEEF);
+    let images = spike_images(0xACED, 64, snn.input_width(), 4);
+    let offline = snn.predict_batch(&images, 1);
+
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(8)
+            .max_delay(Duration::from_millis(1))
+            .workers(1),
+    );
+    let handle = server.handle();
+    // Hammer from several client threads so requests actually coalesce.
+    let served: Vec<usize> = std::thread::scope(|scope| {
+        let chunks: Vec<_> = images
+            .chunks(16)
+            .map(|chunk| {
+                let h = handle.clone();
+                scope.spawn(move || -> Vec<usize> {
+                    chunk
+                        .iter()
+                        .map(|img| h.predict(img.clone()).expect("serve ok").class)
+                        .collect()
+                })
+            })
+            .collect();
+        chunks
+            .into_iter()
+            .flat_map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(served, offline);
+    let stats = server.stats();
+    assert_eq!(stats.served, images.len() as u64);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn size_trigger_coalesces_full_batches() {
+    let snn = test_net(0x51CE);
+    let images = spike_images(0x0DD, 4, snn.input_width(), 2);
+    // A huge deadline: only the size trigger can dispatch.
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(4)
+            .max_delay(Duration::from_secs(60))
+            .workers(1),
+    );
+    let handle = server.handle();
+    let batch_sizes: Vec<usize> = std::thread::scope(|scope| {
+        let clients: Vec<_> = images
+            .iter()
+            .map(|img| {
+                let h = handle.clone();
+                scope.spawn(move || h.predict(img.clone()).expect("serve ok").batch_size)
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+    // All four clients were served by the one size-triggered batch.
+    assert_eq!(batch_sizes, vec![4, 4, 4, 4]);
+    assert_eq!(server.stats().batches, 1);
+}
+
+#[test]
+fn deadline_trigger_dispatches_partial_batch() {
+    let snn = test_net(0xDEAD);
+    let image = spike_images(0x123, 1, snn.input_width(), 2).remove(0);
+    // Size trigger unreachable with one client; only the deadline fires.
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(1024)
+            .max_delay(Duration::from_millis(5))
+            .workers(1),
+    );
+    let handle = server.handle();
+    let start = std::time::Instant::now();
+    let p = handle.predict(image).expect("serve ok");
+    assert_eq!(p.batch_size, 1);
+    // Generous bound: the request must not wait for the size trigger.
+    assert!(start.elapsed() < Duration::from_secs(30));
+}
+
+#[test]
+fn full_queue_sheds_with_structured_error() {
+    let snn = test_net(0xFADE);
+    let images = spike_images(0x77, 3, snn.input_width(), 2);
+    // Size trigger (5) and deadline (60 s) both out of reach: the two
+    // admitted requests sit in the queue until shutdown drains them, so
+    // the third request deterministically finds the queue full.
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(5)
+            .max_delay(Duration::from_secs(60))
+            .queue_capacity(2)
+            .workers(1),
+    );
+    let handle = server.handle();
+    let outcomes: Vec<Result<_, ServeError>> = std::thread::scope(|scope| {
+        let h0 = handle.clone();
+        let img0 = images[0].clone();
+        let c0 = scope.spawn(move || h0.predict(img0));
+        let h1 = handle.clone();
+        let img1 = images[1].clone();
+        let c1 = scope.spawn(move || h1.predict(img1));
+        // Wait until both requests are actually queued.
+        let wait_start = std::time::Instant::now();
+        while handle.queue_depth() < 2 {
+            assert!(
+                wait_start.elapsed() < Duration::from_secs(10),
+                "queue never filled"
+            );
+            std::thread::yield_now();
+        }
+        let shed = handle.predict(images[2].clone());
+        assert_eq!(
+            shed,
+            Err(ServeError::Overloaded {
+                depth: 2,
+                capacity: 2
+            })
+        );
+        // Shutdown drains the two admitted requests.
+        drop(server);
+        vec![c0.join().expect("client"), c1.join().expect("client")]
+    });
+    assert!(
+        outcomes.iter().all(Result::is_ok),
+        "admitted requests are still served"
+    );
+}
+
+#[test]
+fn wrong_frame_width_is_rejected_before_queueing() {
+    let snn = test_net(0xF00D);
+    let server = Server::start(snn, ServeConfig::new().workers(1));
+    let handle = server.handle();
+    let err = handle.predict(vec![vec![true; 7]]).unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest(_)));
+    assert_eq!(server.stats().admitted, 0);
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_and_stops_admission() {
+    let snn = test_net(0xD00F);
+    let images = spike_images(0x42, 6, snn.input_width(), 2);
+    let offline = snn.predict_batch(&images, 1);
+    let mut server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(3)
+            .max_delay(Duration::from_millis(1))
+            .workers(1),
+    );
+    let handle = server.handle();
+    let served: Vec<usize> = std::thread::scope(|scope| {
+        let clients: Vec<_> = images
+            .iter()
+            .map(|img| {
+                let h = handle.clone();
+                scope.spawn(move || h.predict(img.clone()).expect("pre-shutdown ok").class)
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(served, offline);
+    server.shutdown();
+    let err = handle.predict(images[0].clone()).unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+    server.shutdown(); // idempotent
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_round_trip_matches_in_process_serving() {
+    use sushi_serve::socket::{SocketClient, SocketServer};
+
+    let snn = test_net(0xCAFE);
+    let images = spike_images(0x99, 10, snn.input_width(), 3);
+    let offline = snn.predict_batch(&images, 1);
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(4)
+            .max_delay(Duration::from_millis(1))
+            .workers(1),
+    );
+    let path = std::env::temp_dir().join(format!("sushi-serve-test-{}.sock", std::process::id()));
+    let socket = SocketServer::bind(&path, server.handle()).expect("bind socket");
+    let mut client = SocketClient::connect(socket.path()).expect("connect");
+    for (img, &want) in images.iter().zip(&offline) {
+        let p = client.predict(img).expect("io ok").expect("served");
+        assert_eq!(p.class, want);
+        assert!(p.batch_size >= 1);
+    }
+    drop(socket);
+    assert!(!path.exists(), "socket file removed on drop");
+}
+
+#[test]
+fn loadgen_closed_loop_smoke() {
+    let snn = test_net(0xABCD);
+    let images = spike_images(0x31337, 8, snn.input_width(), 2);
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(8)
+            .max_delay(Duration::from_micros(200))
+            .workers(1),
+    );
+    let report = loadgen::closed_loop(&server.handle(), &images, 2, Duration::from_millis(100));
+    assert_eq!(report.mode, "closed");
+    assert!(report.ok > 0, "closed loop served something");
+    assert_eq!(report.ok + report.rejected, report.sent);
+    assert!(report.images_per_s > 0.0);
+    assert!(report.latency.p99_us >= report.latency.p50_us);
+    // The JSON rendering is what bench.sh assembles into BENCH_serve.json.
+    let json = report.to_json().to_string();
+    assert!(json.contains("\"p99_us\""));
+    assert!(json.contains("\"images_per_s\""));
+}
+
+#[test]
+fn loadgen_open_loop_measures_from_scheduled_arrival() {
+    let snn = test_net(0x7777);
+    let images = spike_images(0x2222, 4, snn.input_width(), 2);
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(8)
+            .max_delay(Duration::from_micros(200))
+            .workers(1),
+    );
+    let report = loadgen::open_loop(
+        &server.handle(),
+        &images,
+        500.0,
+        Duration::from_millis(100),
+        2,
+    );
+    assert_eq!(report.mode, "open");
+    assert_eq!(report.sent, 50, "rate x duration arrivals were scheduled");
+    assert_eq!(report.ok + report.rejected, report.sent);
+}

@@ -72,6 +72,32 @@ pub fn item_seed(base: u64, index: usize) -> u64 {
     base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Splits `0..items` into at most `workers` contiguous, non-empty ranges
+/// of near-equal length (sizes differ by at most one, longer ranges
+/// first) — the chunk plan every batch fan-out in this workspace spawns
+/// threads from.
+///
+/// The effective worker count is clamped to the item count, so the plan
+/// never contains an empty range and a batch never spawns more threads
+/// than it has items. (The old `div_ceil` chunking spawned one thread per
+/// item whenever `workers > items`, and could leave configured workers
+/// idle: 10 items on 6 workers became 5 chunks of 2.)
+pub fn chunk_plan(items: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.clamp(1, items.max(1));
+    let base = items / workers;
+    let extra = items % workers;
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 /// Runs batches of stimulus sets over one netlist on a worker pool.
 ///
 /// See the [module docs](self) for the determinism guarantee and an
@@ -171,10 +197,10 @@ impl<'a> BatchRunner<'a> {
     /// Propagates a panic from a worker thread (none originate in the
     /// simulator itself).
     pub fn run(&self, items: &[Stimulus]) -> Result<Vec<SimOutcome>, SimError> {
-        if self.workers <= 1 || items.len() <= 1 {
+        let plan = chunk_plan(items.len(), self.workers);
+        if plan.len() <= 1 {
             return self.run_sequential(items);
         }
-        let chunk = items.len().div_ceil(self.workers);
         let mut slots: Vec<Option<Result<SimOutcome, SimError>>> = vec![None; items.len()];
         let run_chunk =
             |start: usize, items: &[Stimulus], out: &mut [Option<Result<SimOutcome, SimError>>]| {
@@ -185,10 +211,13 @@ impl<'a> BatchRunner<'a> {
             };
         let run_chunk = &run_chunk;
         crossbeam::thread::scope(|s| {
-            for (ci, (item_chunk, slot_chunk)) in
-                items.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
-            {
-                s.spawn(move |_| run_chunk(ci * chunk, item_chunk, slot_chunk));
+            let mut rest = slots.as_mut_slice();
+            for r in &plan {
+                let (slot_chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let item_chunk = &items[r.clone()];
+                let start = r.start;
+                s.spawn(move |_| run_chunk(start, item_chunk, slot_chunk));
             }
         })
         .expect("batch worker panicked");
@@ -237,13 +266,9 @@ impl<'a> BatchRunner<'a> {
     ) -> Result<(Vec<SimOutcome>, BatchReport), SimError> {
         let t0 = Instant::now();
         let mut slots: Vec<Option<Result<SimOutcome, SimError>>> = vec![None; items.len()];
+        let plan = chunk_plan(items.len(), self.workers);
         // Per spawned worker: its activity profile and busy wall time.
         let mut worker_data: Vec<Option<(ActivityProfiler, f64)>> = Vec::new();
-        let chunk = if self.workers <= 1 || items.len() <= 1 {
-            items.len().max(1)
-        } else {
-            items.len().div_ceil(self.workers)
-        };
         let run_chunk = |start: usize,
                          items: &[Stimulus],
                          out: &mut [Option<Result<SimOutcome, SimError>>],
@@ -259,21 +284,21 @@ impl<'a> BatchRunner<'a> {
                 .expect("worker attached a profiler");
             *data = Some((profiler, w0.elapsed().as_secs_f64()));
         };
-        if chunk >= items.len() {
-            // One worker covers everything: run on the calling thread.
+        if plan.len() <= 1 {
+            // Zero or one chunk: run on the calling thread.
             worker_data.push(None);
             run_chunk(0, items, &mut slots, &mut worker_data[0]);
         } else {
-            worker_data.resize_with(items.len().div_ceil(chunk), || None);
+            worker_data.resize_with(plan.len(), || None);
             let run_chunk = &run_chunk;
             crossbeam::thread::scope(|s| {
-                for (ci, ((item_chunk, slot_chunk), data)) in items
-                    .chunks(chunk)
-                    .zip(slots.chunks_mut(chunk))
-                    .zip(worker_data.iter_mut())
-                    .enumerate()
-                {
-                    s.spawn(move |_| run_chunk(ci * chunk, item_chunk, slot_chunk, data));
+                let mut rest = slots.as_mut_slice();
+                for (r, data) in plan.iter().zip(worker_data.iter_mut()) {
+                    let (slot_chunk, tail) = rest.split_at_mut(r.len());
+                    rest = tail;
+                    let item_chunk = &items[r.clone()];
+                    let start = r.start;
+                    s.spawn(move |_| run_chunk(start, item_chunk, slot_chunk, data));
                 }
             })
             .expect("batch worker panicked");
@@ -286,7 +311,8 @@ impl<'a> BatchRunner<'a> {
 
         let mut merged = ActivityProfiler::new();
         let mut workers = Vec::new();
-        for (wi, (chunk_out, data)) in outcomes.chunks(chunk).zip(worker_data).enumerate() {
+        for (wi, (r, data)) in plan.iter().zip(worker_data).enumerate() {
+            let chunk_out = &outcomes[r.clone()];
             let (profiler, worker_wall_s) = data.expect("worker recorded its profile");
             merged.merge(&profiler);
             let events_delivered = chunk_out.iter().map(|o| o.stats.events_delivered).sum();
@@ -528,6 +554,56 @@ mod tests {
         let n = small_design();
         let l = lib();
         assert_eq!(BatchRunner::new(&n, &l).run(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn chunk_plan_is_clamped_balanced_and_covering() {
+        assert!(chunk_plan(0, 4).is_empty());
+        for (items, workers) in [(1, 1), (1, 8), (3, 16), (5, 4), (10, 6), (100, 7), (7, 7)] {
+            let plan = chunk_plan(items, workers);
+            // Spawned-thread bound: one chunk per effective worker, never
+            // more than there are items.
+            assert_eq!(plan.len(), items.min(workers), "({items},{workers})");
+            // Contiguous exact cover, no empty chunks.
+            let mut next = 0;
+            for r in &plan {
+                assert_eq!(r.start, next, "({items},{workers})");
+                assert!(!r.is_empty(), "({items},{workers})");
+                next = r.end;
+            }
+            assert_eq!(next, items, "({items},{workers})");
+            // Balanced: chunk lengths differ by at most one.
+            let lens: Vec<usize> = plan.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "({items},{workers}): {lens:?}");
+        }
+        // workers == 0 degrades to a single chunk, not a panic.
+        assert_eq!(chunk_plan(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn report_worker_count_is_clamped_and_balanced() {
+        let n = small_design();
+        let l = lib();
+        // Regression: `workers > items` used to spawn one thread per item,
+        // and ceil-chunking left configured workers idle (10 items on 6
+        // workers ran as 5 chunks of 2).
+        let runner = BatchRunner::new(&n, &l);
+        let (_, report) = runner
+            .clone()
+            .with_workers(16)
+            .run_with_report(&batch(3), 1)
+            .unwrap();
+        assert_eq!(report.workers.len(), 3);
+        assert!(report.workers.iter().all(|w| w.items == 1));
+        let (_, report) = runner
+            .clone()
+            .with_workers(6)
+            .run_with_report(&batch(10), 1)
+            .unwrap();
+        assert_eq!(report.workers.len(), 6);
+        let loads: Vec<usize> = report.workers.iter().map(|w| w.items).collect();
+        assert_eq!(loads, vec![2, 2, 2, 2, 1, 1]);
     }
 
     #[test]

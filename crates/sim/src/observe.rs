@@ -276,12 +276,27 @@ impl SimObserver for ActivityProfiler {
 /// fall out. The high-water mark of the queue length is the densest burst
 /// the run produced — the number SUSHI's "ultra-high-speed" claim is
 /// about, independent of host wall-clock speed.
+///
+/// Delivery timestamps are *not* guaranteed to be monotone: an event
+/// scheduled at or before the engine's drain cursor (e.g. a mid-run
+/// [`Simulator::inject`](crate::Simulator::inject) of a past time) is
+/// delivered next while keeping its original, earlier timestamp. The
+/// meter tolerates that: a late arrival still inside the current window
+/// is insertion-sorted into place and counted; one older than the window
+/// counts toward [`ThroughputMeter::total_events`] and
+/// [`ThroughputMeter::late_events`] but cannot retroactively raise an
+/// already-closed window's peak.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputMeter {
     window_ps: Ps,
+    /// Delivery times inside the current window, ascending. Kept sorted
+    /// even when deliveries arrive out of order.
     recent: VecDeque<Ps>,
+    /// Latest delivery time seen this run (the window's trailing edge).
+    latest: Ps,
     peak: usize,
     total: u64,
+    late: u64,
 }
 
 impl ThroughputMeter {
@@ -295,8 +310,10 @@ impl ThroughputMeter {
         Self {
             window_ps,
             recent: VecDeque::new(),
+            latest: Ps::NEG_INFINITY,
             peak: 0,
             total: 0,
+            late: 0,
         }
     }
 
@@ -319,14 +336,35 @@ impl ThroughputMeter {
     pub fn total_events(&self) -> u64 {
         self.total
     }
+
+    /// Deliveries whose timestamp was already older than the window when
+    /// they arrived (late events from before-cursor scheduling). They are
+    /// in [`ThroughputMeter::total_events`] but not in any window count.
+    pub fn late_events(&self) -> u64 {
+        self.late
+    }
 }
 
 impl SimObserver for ThroughputMeter {
     fn on_deliver(&mut self, _cell: CellId, _kind: CellKind, time: Ps) {
         self.total += 1;
-        self.recent.push_back(time);
+        self.latest = self.latest.max(time);
+        if self.latest - time > self.window_ps {
+            // A late delivery from an already-closed window: counting it
+            // into the *current* window would inflate the peak with an
+            // event that never coincided with these neighbours.
+            self.late += 1;
+            return;
+        }
+        // Deliveries are usually in time order, so scan from the back for
+        // the (rare) late-but-in-window insertion point.
+        let mut at = self.recent.len();
+        while at > 0 && self.recent[at - 1] > time {
+            at -= 1;
+        }
+        self.recent.insert(at, time);
         while let Some(&front) = self.recent.front() {
-            if time - front > self.window_ps {
+            if self.latest - front > self.window_ps {
                 self.recent.pop_front();
             } else {
                 break;
@@ -338,6 +376,7 @@ impl SimObserver for ThroughputMeter {
     fn on_run_end(&mut self, _stats: &SimStats) {
         // Events do not carry across runs; the peak does.
         self.recent.clear();
+        self.latest = Ps::NEG_INFINITY;
     }
 
     fn box_clone(&self) -> Box<dyn SimObserver> {
@@ -619,6 +658,56 @@ mod tests {
         // the two cells' windows interleave: peak is at least 4.
         assert!(meter.peak_events_in_window() >= 4);
         assert!(meter.peak_events_per_ns() > 0.0);
+    }
+
+    #[test]
+    fn throughput_meter_tolerates_backwards_timestamps() {
+        // Regression: CalendarQueue delivers events scheduled before the
+        // drain cursor *next* while keeping their original earlier times,
+        // so on_deliver timestamps can decrease. The old accounting pushed
+        // the late time at the back of the window queue, where it could
+        // never be evicted and inflated every later peak.
+        let cell = CellId::from_index(0);
+        let mut m = ThroughputMeter::new(50.0);
+        m.on_deliver(cell, CellKind::Jtl, 100.0);
+        // 95 ps in the past: outside the window, must not join the burst.
+        m.on_deliver(cell, CellKind::Jtl, 5.0);
+        assert_eq!(m.peak_events_in_window(), 1);
+        assert_eq!(m.total_events(), 2);
+        assert_eq!(m.late_events(), 1);
+
+        // Late but still inside the window: counted, in sorted order.
+        m.on_deliver(cell, CellKind::Jtl, 80.0);
+        m.on_deliver(cell, CellKind::Jtl, 60.0);
+        assert_eq!(m.peak_events_in_window(), 3); // {60, 80, 100}
+                                                  // A later delivery slides the window forward and evicts the old
+                                                  // entries even though they arrived out of order.
+        m.on_deliver(cell, CellKind::Jtl, 140.0);
+        assert_eq!(m.peak_events_in_window(), 3); // {100, 140} is only 2
+        assert_eq!(m.total_events(), 5);
+        assert_eq!(m.late_events(), 1);
+    }
+
+    #[test]
+    fn throughput_meter_survives_past_injection_mid_run() {
+        // Engine-level regression: pause with run_until, inject a pulse in
+        // the simulated past, and resume. The meter must not merge the
+        // stale delivery into the current window's burst.
+        let n = chain();
+        let l = lib();
+        let mut sim = SimConfig::new()
+            .observer(ThroughputMeter::new(300.0))
+            .build(&n, &l);
+        sim.inject("in", &[1000.0, 2000.0]).unwrap();
+        sim.run_until(1500.0).unwrap();
+        // Scheduled 900 ps before the cursor: delivered next, time 100.
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let meter: ThroughputMeter = sim.take_observer_as().unwrap();
+        // 3 pulses x 2 cells delivered; each pulse's pair is one burst.
+        assert_eq!(meter.total_events(), 6);
+        assert_eq!(meter.late_events(), 2);
+        assert_eq!(meter.peak_events_in_window(), 2);
     }
 
     #[test]

@@ -255,4 +255,67 @@ proptest! {
         }
         prop_assert!(cal.is_empty());
     }
+
+    /// Interleaved `clear()` mid-drain followed by re-push — the
+    /// `Simulator::reset` path: a cleared calendar queue (which keeps its
+    /// allocations but forgets its window tuning) must behave exactly like
+    /// an emptied `BinaryHeap`, including when the post-clear schedule
+    /// starts at earlier times than the pre-clear cursor had reached.
+    #[test]
+    fn calendar_queue_clear_mid_drain_matches_binary_heap(codes in prop::collection::vec(0u64..u64::MAX, 1..400)) {
+        let target = PortRef::new(CellId::from_index(0), PortName::Din);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0.0f64;
+        let mut last_push = 0.0f64;
+
+        for code in codes {
+            // 1/16 clears, 6/16 pops, 9/16 pushes (the four flavours of
+            // the order-equivalence proptest above).
+            let op = code % 16;
+            if op == 15 {
+                heap.clear();
+                cal.clear();
+                // Mirror Simulator::reset: the seq counter rewinds too and
+                // simulated time starts over, so re-pushed events land at
+                // times the drained window had already passed.
+                seq = 0;
+                now = 0.0;
+                last_push = 0.0;
+                continue;
+            }
+            let offset = ((code >> 4) % 256) as f64 * 0.25;
+            let time = match op {
+                0..=2 => Some(now + offset),        // near future
+                3 | 4 => Some(last_push),           // equal-time burst
+                5 | 6 => Some(now + 1.0e6 + offset),// overflow bin
+                7 | 8 => Some(now - offset),        // before the cursor
+                _ => None,                          // pop
+            };
+            if let Some(t) = time {
+                heap.push(Event::new(t, seq, target));
+                cal.push(Event::new(t, seq, target));
+                last_push = t;
+                seq += 1;
+            } else {
+                let expect = heap.pop();
+                let got = cal.pop();
+                prop_assert_eq!(cal.len(), heap.len());
+                match (expect, got) {
+                    (None, None) => {}
+                    (Some(e), Some(g)) => {
+                        prop_assert_eq!((e.time, e.seq), (g.time, g.seq));
+                        now = e.time;
+                    }
+                    (e, g) => prop_assert!(false, "heap {:?} vs calendar {:?}", e, g),
+                }
+            }
+        }
+        while let Some(e) = heap.pop() {
+            let g = cal.pop();
+            prop_assert_eq!(Some((e.time, e.seq)), g.map(|g| (g.time, g.seq)));
+        }
+        prop_assert!(cal.is_empty());
+    }
 }

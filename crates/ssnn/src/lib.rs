@@ -58,6 +58,6 @@ pub use bitslice::{Slice, SliceSchedule};
 pub use bucketing::{analyze_excursion, bucketed_order, inhibitory_first, Excursion};
 pub use compiler::{ChipProgram, Compiler};
 pub use convmap::binarize_conv;
-pub use packed::{PackedFrame, PackedLayer, PackedSnn};
+pub use packed::{PackedFrame, PackedLayer, PackedSnn, PredictScratch};
 pub use quantize::{QuantizedLayer, QuantizedSnn};
 pub use stateless::{ExecStats, FireSemantics, SsnnExecutor};

@@ -552,11 +552,46 @@ impl PackedLayer {
 }
 
 /// Reusable per-thread buffers for a multi-layer packed forward pass.
+///
+/// [`PackedSnn::predict`] builds one internally per call; a long-running
+/// consumer (the batch engine's workers, `sushi-serve`'s inference loop)
+/// holds one per thread and passes it to
+/// [`PackedSnn::predict_with`] / [`PackedSnn::forward_counts_with`] so
+/// steady-state inference stays allocation-free across requests.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+pub struct PredictScratch {
     x: PackedFrame,
     y: PackedFrame,
     acc: Vec<i64>,
+}
+
+impl PredictScratch {
+    /// Fresh, empty buffers; they size themselves to the network on first
+    /// use and are then reused verbatim.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Splits `0..items` into at most `workers` contiguous, non-empty,
+/// near-equal ranges (clamped to the item count, so a batch never spawns
+/// more threads than it has items). Mirrors
+/// `sushi_sim::batch::chunk_plan` — kept local because this crate is
+/// deliberately independent of the simulator.
+fn chunk_plan(items: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, items.max(1));
+    let base = items / workers;
+    let extra = items % workers;
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
 }
 
 /// A fully bit-packed network: the XNOR/popcount inference engine.
@@ -605,7 +640,13 @@ impl PackedSnn {
         self.layers.last().expect("non-empty").outputs()
     }
 
-    fn step_scratch(&self, s: &mut Scratch) {
+    /// Bits per input frame (the first layer's input width) — what a
+    /// request validator checks before frames reach the engine.
+    pub fn input_width(&self) -> usize {
+        self.layers.first().expect("non-empty").inputs()
+    }
+
+    fn step_scratch(&self, s: &mut PredictScratch) {
         for layer in &self.layers {
             layer.step_into(&s.x, &mut s.y, &mut s.acc);
             std::mem::swap(&mut s.x, &mut s.y);
@@ -619,13 +660,20 @@ impl PackedSnn {
     ///
     /// Panics on input-width mismatch.
     pub fn step(&self, input: &[bool]) -> Vec<bool> {
-        let mut s = Scratch::default();
+        let mut s = PredictScratch::default();
         s.x.fill_from_bools(input);
         self.step_scratch(&mut s);
         s.x.to_bools()
     }
 
-    fn forward_counts_scratch(&self, frames: &[Vec<bool>], s: &mut Scratch) -> Vec<u32> {
+    /// [`PackedSnn::forward_counts`] with caller-owned buffers: reuse one
+    /// [`PredictScratch`] across calls to keep per-request inference
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn forward_counts_with(&self, frames: &[Vec<bool>], s: &mut PredictScratch) -> Vec<u32> {
         let mut counts = vec![0u32; self.classes()];
         for f in frames {
             s.x.fill_from_bools(f);
@@ -639,7 +687,7 @@ impl PackedSnn {
 
     /// Runs `frames`, returning per-class spike counts.
     pub fn forward_counts(&self, frames: &[Vec<bool>]) -> Vec<u32> {
-        self.forward_counts_scratch(frames, &mut Scratch::default())
+        self.forward_counts_with(frames, &mut PredictScratch::default())
     }
 
     /// Predicted class for `frames` (argmax of spike counts, ties to the
@@ -648,35 +696,56 @@ impl PackedSnn {
         argmax_low(&self.forward_counts(frames))
     }
 
-    /// Predicts every item of a dataset (one frame sequence per item) on a
-    /// pool of `workers` scoped threads.
+    /// [`PackedSnn::predict`] with caller-owned buffers — the per-request
+    /// entry point of the serving layer, bitwise identical to `predict`.
     ///
-    /// Items are split into contiguous chunks, one reused scratch buffer
-    /// buffer set per worker, and each worker writes only its own output
-    /// slots — so the result is in input order and bitwise identical to
-    /// the sequential pass for any worker count (`workers <= 1` runs on
-    /// the calling thread).
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn predict_with(&self, frames: &[Vec<bool>], s: &mut PredictScratch) -> usize {
+        argmax_low(&self.forward_counts_with(frames, s))
+    }
+
+    /// Predicts every item of a dataset (one frame sequence per item) on a
+    /// pool of scoped threads — at most `workers` of them, clamped to the
+    /// item count so a small batch never spawns idle threads.
+    ///
+    /// Items are split into contiguous near-equal chunks, one reused
+    /// scratch buffer set per worker, and each worker writes only its own
+    /// output slots — so the result is in input order and bitwise
+    /// identical to the sequential pass for any worker count
+    /// (`workers <= 1` runs on the calling thread). Items may be anything
+    /// that borrows as a frame slice (`Vec<Vec<bool>>`, `&[Vec<bool>]`,
+    /// ...), so callers like `sushi-serve` can batch without copying
+    /// frames into an owned dataset.
     ///
     /// # Panics
     ///
     /// Panics on input-width mismatch or if a worker thread panics (none
     /// originate in the engine itself).
-    pub fn predict_batch(&self, items: &[Vec<Vec<bool>>], workers: usize) -> Vec<usize> {
+    pub fn predict_batch<I>(&self, items: &[I], workers: usize) -> Vec<usize>
+    where
+        I: AsRef<[Vec<bool>]> + Sync,
+    {
         let mut preds = vec![0usize; items.len()];
-        if workers <= 1 || items.len() <= 1 {
-            let mut s = Scratch::default();
+        let plan = chunk_plan(items.len(), workers);
+        if plan.len() <= 1 {
+            let mut s = PredictScratch::default();
             for (item, slot) in items.iter().zip(preds.iter_mut()) {
-                *slot = argmax_low(&self.forward_counts_scratch(item, &mut s));
+                *slot = self.predict_with(item.as_ref(), &mut s);
             }
             return preds;
         }
-        let chunk = items.len().div_ceil(workers);
         crossbeam::thread::scope(|scope| {
-            for (item_chunk, out_chunk) in items.chunks(chunk).zip(preds.chunks_mut(chunk)) {
+            let mut rest = preds.as_mut_slice();
+            for r in &plan {
+                let (out_chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let item_chunk = &items[r.clone()];
                 scope.spawn(move |_| {
-                    let mut s = Scratch::default();
+                    let mut s = PredictScratch::default();
                     for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = argmax_low(&self.forward_counts_scratch(item, &mut s));
+                        *slot = self.predict_with(item.as_ref(), &mut s);
                     }
                 });
             }
@@ -853,7 +922,48 @@ mod tests {
         for workers in [1usize, 2, 3, 7, 16] {
             assert_eq!(p.predict_batch(&items, workers), reference, "w={workers}");
         }
-        assert_eq!(p.predict_batch(&[], 4), vec![]);
+        assert_eq!(p.predict_batch::<Vec<Vec<bool>>>(&[], 4), vec![]);
+    }
+
+    #[test]
+    fn chunk_plan_never_exceeds_items_or_workers() {
+        // Regression: `workers > items` used to chunk at size 1 and spawn
+        // one thread per item; the plan now clamps to the item count.
+        assert!(chunk_plan(0, 8).is_empty());
+        for (items, workers) in [(1, 64), (3, 16), (5, 4), (13, 7), (64, 64)] {
+            let plan = chunk_plan(items, workers);
+            assert_eq!(plan.len(), items.min(workers), "({items},{workers})");
+            assert!(plan.iter().all(|r| !r.is_empty()));
+            assert_eq!(plan.iter().map(|r| r.len()).sum::<usize>(), items);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_requests_matches_fresh_scratch() {
+        let net = random_net(61, &[(100, 19), (19, 4)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0xCAFEu64;
+        let mut s = PredictScratch::new();
+        for _ in 0..10 {
+            let frames: Vec<Vec<bool>> = (0..4).map(|_| random_frame(&mut st, 100)).collect();
+            assert_eq!(p.predict_with(&frames, &mut s), p.predict(&frames));
+            assert_eq!(
+                p.forward_counts_with(&frames, &mut s),
+                p.forward_counts(&frames)
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_accepts_borrowed_items() {
+        let net = random_net(43, &[(70, 12), (12, 3)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0xF00Du64;
+        let owned: Vec<Vec<Vec<bool>>> = (0..6)
+            .map(|_| (0..3).map(|_| random_frame(&mut st, 70)).collect())
+            .collect();
+        let borrowed: Vec<&[Vec<bool>]> = owned.iter().map(Vec::as_slice).collect();
+        assert_eq!(p.predict_batch(&borrowed, 3), p.predict_batch(&owned, 3));
     }
 
     #[test]

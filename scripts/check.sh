@@ -14,7 +14,7 @@ echo "==> cargo doc --no-deps (deny rustdoc warnings)"
 # Only the sushi crates: vendor/ stand-ins are out of scope for the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p sushi-cells -p sushi-sim -p sushi-arch -p sushi-snn -p sushi-ssnn \
-  -p sushi-core -p sushi-bench
+  -p sushi-serve -p sushi-core -p sushi-bench
 
 echo "==> cargo test -q"
 cargo test -q
@@ -26,7 +26,9 @@ bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
 grep -q "hot cells:" <<<"$bench_out"
 grep -q "packed SSNN engine" <<<"$bench_out"
 
-echo "==> criterion bench smoke (scripts/bench.sh --smoke)"
+echo "==> criterion + serve bench smoke (scripts/bench.sh --smoke)"
+# Also covers BENCH_serve.json assembly: the smoke run executes the
+# serving scenarios at reduced budget and validates the JSON structure.
 scripts/bench.sh --smoke
 
 echo "All checks passed."
