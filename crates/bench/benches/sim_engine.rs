@@ -126,7 +126,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("jtl_batch32_sequential", |b| {
         b.iter(|| runner.run_sequential(&batch_items).unwrap().len())
     });
-    g.bench_function(format!("jtl_batch32_parallel_{}w", runner.workers()), |b| {
+    // "host_workers" (not the count) keeps the id distinct from the fixed
+    // 4-worker row below on any core count (a 4-core host would otherwise
+    // emit two `jtl_batch32_parallel_4w` rows).
+    g.bench_function("jtl_batch32_parallel_host_workers", |b| {
         b.iter(|| runner.run(&batch_items).unwrap().len())
     });
     // Fixed worker count, so machines with different core counts still

@@ -11,12 +11,15 @@ use sushi_core::SushiChip;
 use sushi_sim::EvalOptions;
 use sushi_snn::data::synth_digits;
 use sushi_snn::train::{TrainConfig, Trainer};
+use sushi_ssnn::backend::{InferenceBackend, ScalarBackend};
 use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
 use sushi_ssnn::packed::PackedSnn;
 
 /// Images per benchmark iteration of the packed-vs-scalar groups.
 const SSNN_IMAGES: usize = 16;
+/// Images per iteration of the bitplane group: one full 64-lane batch.
+const SSNN_BATCH: usize = 64;
 /// Poisson time steps per image.
 const SSNN_FRAMES: usize = 10;
 
@@ -66,17 +69,18 @@ fn spike_images(seed: u64, count: usize) -> Vec<Vec<Vec<bool>>> {
 fn bench_ssnn_packed(c: &mut Criterion) {
     let net = paper_shape_net(0xD1CE);
     let packed = PackedSnn::from_network(&net);
+    let scalar = ScalarBackend(&net);
     let images = spike_images(0xACED, SSNN_IMAGES);
     // Sanity: the packed engine is a bitwise drop-in before we time it.
     for img in &images {
-        assert_eq!(packed.predict(img), net.predict_scalar(img));
+        assert_eq!(packed.predict(img), scalar.predict(img));
     }
 
     let mut g = c.benchmark_group("ssnn_packed");
     g.measurement_time(Duration::from_secs(3)).sample_size(20);
     g.throughput(Throughput::Elements(SSNN_IMAGES as u64));
     g.bench_function("scalar_predict_784_800_10", |b| {
-        b.iter(|| -> usize { images.iter().map(|img| net.predict_scalar(img)).sum() })
+        b.iter(|| -> usize { images.iter().map(|img| scalar.predict(img)).sum() })
     });
     g.bench_function("packed_predict_784_800_10", |b| {
         b.iter(|| -> usize { images.iter().map(|img| packed.predict(img)).sum() })
@@ -84,6 +88,35 @@ fn bench_ssnn_packed(c: &mut Criterion) {
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     g.bench_function(format!("packed_predict_batch_{workers}_workers"), |b| {
         b.iter(|| packed.predict_batch(&images, workers))
+    });
+    g.finish();
+}
+
+fn bench_ssnn_bitplane(c: &mut Criterion) {
+    let net = paper_shape_net(0xD1CE);
+    let packed = PackedSnn::from_network(&net);
+    let images = spike_images(0xB17E, SSNN_BATCH);
+    // Sanity: bitplane results are bitwise identical before we time them.
+    assert_eq!(
+        packed.predict_batch_bitplane(&images, 1),
+        packed.predict_batch(&images, 1)
+    );
+
+    // Single worker on both sides of the headline ratio, so
+    // bitplane_over_packed_speedup isolates the layout + kernel win from
+    // thread-pool scaling.
+    let mut g = c.benchmark_group("ssnn_bitplane");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.throughput(Throughput::Elements(SSNN_BATCH as u64));
+    g.bench_function("bitplane_predict_batch64_784_800_10", |b| {
+        b.iter(|| packed.predict_batch_bitplane(&images, 1))
+    });
+    g.bench_function("packed_predict_batch64_784_800_10", |b| {
+        b.iter(|| packed.predict_batch(&images, 1))
+    });
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("bitplane_predict_batch8_784_800_10", |b| {
+        b.iter(|| packed.predict_batch_bitplane(&images[..8], 1))
     });
     g.finish();
 }
@@ -110,8 +143,11 @@ fn bench(c: &mut Criterion) {
                 .accuracy
         })
     });
+    // "host_workers" (not the count) keeps the id distinct from the fixed
+    // 1-worker row above — a 1-CPU host used to produce the colliding pair
+    // `evaluate_60_samples_1_worker` / `..._1_workers` in BENCH_ssnn.json.
     let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    g.bench_function(format!("evaluate_60_samples_{workers}_workers"), |b| {
+    g.bench_function("evaluate_60_samples_host_workers", |b| {
         b.iter(|| {
             chip.evaluate(&program, &slice, &EvalOptions::new().workers(workers))
                 .accuracy
@@ -135,7 +171,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench, bench_ssnn_packed);
+criterion_group!(benches, bench, bench_ssnn_packed, bench_ssnn_bitplane);
 
 fn main() {
     println!("{}", table3(Scale::quick()).1);

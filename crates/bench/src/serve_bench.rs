@@ -114,7 +114,10 @@ pub fn serve_report(quick: bool) -> String {
 
     // 2. Micro-batched: 32 concurrent clients, size trigger 32. The
     // queue bound (two full batches) keeps worst-case queueing delay —
-    // and with it the overload p99 — small and predictable.
+    // and with it the overload p99 — small and predictable. The default
+    // backend is Bitplane, so coalesced batches of >= bitplane_min_batch
+    // take the 64-lane path automatically (`bitplane_batches` reports
+    // how many did).
     let batched_cfg = ServeConfig::new()
         .max_batch(32)
         .max_delay(Duration::from_millis(2))
@@ -163,6 +166,10 @@ pub fn serve_report(quick: bool) -> String {
                         "mean_batch_size",
                         Json::Num(batched_stats.mean_batch_size()),
                     ),
+                    (
+                        "bitplane_batches",
+                        Json::UInt(batched_stats.bitplane_batches),
+                    ),
                     ("batched_p99_us", Json::Num(batched.latency.p99_us)),
                     ("overload_rejected", Json::UInt(overload.rejected)),
                     ("overload_p99_us", Json::Num(overload.latency.p99_us)),
@@ -183,8 +190,9 @@ pub fn serve_report(quick: bool) -> String {
     out.push_str(&report_lines("overload", &overload));
     out.push('\n');
     out.push_str(&format!(
-        "  batch speedup {speedup:.2}x, mean batch {:.1}, overload target {target_rate:.0}/s",
-        batched_stats.mean_batch_size()
+        "  batch speedup {speedup:.2}x, mean batch {:.1}, bitplane batches {}, overload target {target_rate:.0}/s",
+        batched_stats.mean_batch_size(),
+        batched_stats.bitplane_batches,
     ));
     out
 }

@@ -19,6 +19,7 @@ use sushi_sim::{BatchReport, EvalOptions, PulseTrain};
 use sushi_snn::data::{synth_digits, synth_fashion, Dataset};
 use sushi_snn::metrics::consistency;
 use sushi_snn::train::{TrainConfig, TrainedSnn, Trainer};
+use sushi_ssnn::backend::{Backend, InferenceBackend};
 use sushi_ssnn::bucketing::{bucketed_order, inhibitory_first, worst_case_excursion};
 use sushi_ssnn::compiler::{Compiler, CompilerConfig};
 use sushi_ssnn::packed::PackedSnn;
@@ -927,8 +928,9 @@ pub fn bench_metrics(scale: Scale) -> String {
         er.to_json(),
     ));
 
-    // Packed-engine drill-down: the bit-packed XNOR/popcount engine vs the
-    // scalar oracle on the binarized network the compiler just built.
+    // Backend drill-down: every InferenceBackend raced on the binarized
+    // network the compiler just built — the scalar oracle, the per-image
+    // packed engine, and the 64-lane bitplane batch engine.
     let packed = PackedSnn::from_network(&program.net);
     let frames: Vec<Vec<Vec<bool>>> = test
         .images
@@ -938,30 +940,32 @@ pub fn bench_metrics(scale: Scale) -> String {
         .map(|(i, img)| program.encode_input(img, i as u64))
         .collect();
     let reps = 5;
-    let t = Instant::now();
-    let mut packed_preds = Vec::new();
-    for _ in 0..reps {
-        packed_preds = frames.iter().map(|f| packed.predict(f)).collect();
+    let mut rates = [0.0f64; 3];
+    let mut preds: Vec<Vec<usize>> = Vec::new();
+    for (k, backend) in Backend::ALL.into_iter().enumerate() {
+        let engine = backend.select(&program.net, &packed);
+        let t = Instant::now();
+        let mut p = Vec::new();
+        for _ in 0..reps {
+            p = engine.predict_batch(&frames, 1);
+        }
+        rates[k] = (reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        preds.push(p);
     }
-    let packed_rate = (reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
-    let t = Instant::now();
-    let mut scalar_preds: Vec<usize> = Vec::new();
-    for _ in 0..reps {
-        scalar_preds = frames
-            .iter()
-            .map(|f| program.net.predict_scalar(f))
-            .collect();
-    }
-    let scalar_rate = (reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    let [scalar_rate, packed_rate, bitplane_rate] = rates;
+    let agree = preds.windows(2).all(|w| w[0] == w[1]);
     out.push_str(&format!(
         "\n## Bench: packed SSNN engine (XNOR/popcount)\n\
-         images {} x{} reps | packed {:.0} images/s | scalar {:.0} images/s | speedup {:.2}x | predictions agree: {}\n",
+         images {} x{} reps | packed {:.0} images/s | scalar {:.0} images/s | speedup {:.2}x | predictions agree: {}\n\
+         bitplane batch engine: {:.0} images/s | {:.2}x over packed\n",
         frames.len(),
         reps,
         packed_rate,
         scalar_rate,
         packed_rate / scalar_rate.max(1e-9),
-        packed_preds == scalar_preds,
+        agree,
+        bitplane_rate,
+        bitplane_rate / packed_rate.max(1e-9),
     ));
     out
 }

@@ -2,6 +2,7 @@
 //! inference parallelism.
 
 use std::time::Duration;
+use sushi_ssnn::Backend;
 
 /// Tuning knobs of a [`Server`](crate::Server).
 ///
@@ -43,6 +44,19 @@ pub struct ServeConfig {
     /// Inference worker threads per batch (`PackedSnn::predict_batch`);
     /// `1` runs batches on the batcher thread with one long-lived scratch.
     pub workers: usize,
+    /// Which inference engine serves batches. [`Backend::Bitplane`]
+    /// (the default) evaluates micro-batches of at least
+    /// `bitplane_min_batch` on the 64-lane bitplane path and falls back
+    /// to the per-image packed path below it; [`Backend::Packed`] always
+    /// serves per-image. The server only holds a packed network, so
+    /// [`Backend::Scalar`] is honored as `Packed` — every backend is
+    /// bitwise identical, the knob only moves throughput.
+    pub backend: Backend,
+    /// Smallest micro-batch the bitplane path is worth: below this many
+    /// coalesced requests the per-image packed path serves instead
+    /// (transposing a near-empty lane group costs more than it saves).
+    /// Only consulted when `backend` is [`Backend::Bitplane`].
+    pub bitplane_min_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -53,13 +67,15 @@ impl Default for ServeConfig {
             max_delay: Duration::from_millis(2),
             queue_capacity: 128,
             workers,
+            backend: Backend::Bitplane,
+            bitplane_min_batch: 8,
         }
     }
 }
 
 impl ServeConfig {
     /// The default configuration (batch 32, 2 ms deadline, capacity 128,
-    /// one worker per CPU).
+    /// one worker per CPU, bitplane backend from 8 coalesced requests).
     pub fn new() -> Self {
         Self::default()
     }
@@ -87,6 +103,19 @@ impl ServeConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Sets the serving backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the smallest micro-batch served on the bitplane path
+    /// (clamped to at least 1).
+    pub fn bitplane_min_batch(mut self, min_batch: usize) -> Self {
+        self.bitplane_min_batch = min_batch.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,9 +124,22 @@ mod tests {
 
     #[test]
     fn builder_clamps_degenerate_values() {
-        let cfg = ServeConfig::new().max_batch(0).queue_capacity(0).workers(0);
+        let cfg = ServeConfig::new()
+            .max_batch(0)
+            .queue_capacity(0)
+            .workers(0)
+            .bitplane_min_batch(0);
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.queue_capacity, 1);
         assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.bitplane_min_batch, 1);
+    }
+
+    #[test]
+    fn bitplane_backend_is_the_default() {
+        let cfg = ServeConfig::new();
+        assert_eq!(cfg.backend, Backend::Bitplane);
+        assert_eq!(cfg.bitplane_min_batch, 8);
+        assert_eq!(cfg.backend(Backend::Packed).backend, Backend::Packed);
     }
 }

@@ -17,7 +17,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use sushi_ssnn::{PackedSnn, PredictScratch};
+use sushi_ssnn::{Backend, PackedSnn, PredictScratch};
 
 use crate::ServeConfig;
 
@@ -71,6 +71,9 @@ pub struct ServerStats {
     pub served: u64,
     /// Micro-batches dispatched to the engine.
     pub batches: u64,
+    /// Micro-batches served on the 64-lane bitplane path (deep enough
+    /// for `bitplane_min_batch` under [`Backend::Bitplane`]).
+    pub bitplane_batches: u64,
     /// Largest queue depth observed at admission time.
     pub max_queue_depth: usize,
 }
@@ -106,6 +109,7 @@ struct Shared {
     rejected: AtomicU64,
     served: AtomicU64,
     batches: AtomicU64,
+    bitplane_batches: AtomicU64,
     max_queue_depth: AtomicUsize,
 }
 
@@ -148,6 +152,7 @@ impl Server {
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            bitplane_batches: AtomicU64::new(0),
             max_queue_depth: AtomicUsize::new(0),
         });
         let worker_shared = Arc::clone(&shared);
@@ -175,6 +180,7 @@ impl Server {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             served: self.shared.served.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
+            bitplane_batches: self.shared.bitplane_batches.load(Ordering::Relaxed),
             max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
         }
     }
@@ -308,7 +314,17 @@ fn batcher_loop(shared: &Shared) {
             continue;
         }
         let batch_size = batch.len();
-        let classes: Vec<usize> = if shared.cfg.workers <= 1 {
+        // The bitplane path pays a transpose per lane group; it only
+        // wins once the micro-batch is deep enough to fill lanes, so
+        // shallow batches fall back to the per-image packed path.
+        let bitplane =
+            shared.cfg.backend == Backend::Bitplane && batch_size >= shared.cfg.bitplane_min_batch;
+        let classes: Vec<usize> = if bitplane {
+            let frames: Vec<&[Vec<bool>]> = batch.iter().map(|req| req.frames.as_slice()).collect();
+            shared
+                .snn
+                .predict_batch_bitplane(&frames, shared.cfg.workers)
+        } else if shared.cfg.workers <= 1 {
             // Single-worker path: reuse one long-lived scratch across
             // every request the server ever sees.
             batch
@@ -320,6 +336,9 @@ fn batcher_loop(shared: &Shared) {
             shared.snn.predict_batch(&frames, shared.cfg.workers)
         };
         shared.batches.fetch_add(1, Ordering::Relaxed);
+        if bitplane {
+            shared.bitplane_batches.fetch_add(1, Ordering::Relaxed);
+        }
         shared
             .served
             .fetch_add(batch_size as u64, Ordering::Relaxed);

@@ -7,6 +7,7 @@
 //! `theta / alpha_j` — so the scale is folded into a per-neuron integer
 //! threshold and the chip only ever handles ±1 pulses.
 
+use crate::backend::argmax_low;
 use crate::packed::{PackedFrame, PackedLayer};
 use serde::{Deserialize, Serialize};
 use sushi_snn::tensor::Matrix;
@@ -251,6 +252,11 @@ impl BinarizedSnn {
         self.layers.last().expect("non-empty").outputs()
     }
 
+    /// Bits per input frame (the first layer's input width).
+    pub fn input_width(&self) -> usize {
+        self.layers.first().expect("non-empty").inputs()
+    }
+
     /// One stateless time step through the whole network with end-of-step
     /// firing (the software reference semantics). Runs on the bit-packed
     /// XNOR/popcount path — bitwise identical to [`Self::step_scalar`],
@@ -310,8 +316,9 @@ impl BinarizedSnn {
         counts
     }
 
-    /// The scalar reference for [`Self::forward_counts`].
-    pub fn forward_counts_scalar(&self, frames: &[Vec<bool>]) -> Vec<u32> {
+    /// The scalar reference for [`Self::forward_counts`], shared by the
+    /// deprecated inherent shim and `ScalarBackend`.
+    pub(crate) fn forward_counts_scalar_impl(&self, frames: &[Vec<bool>]) -> Vec<u32> {
         let mut counts = vec![0u32; self.classes()];
         for f in frames {
             for (c, s) in counts.iter_mut().zip(self.step_scalar(f)) {
@@ -319,6 +326,14 @@ impl BinarizedSnn {
             }
         }
         counts
+    }
+
+    /// The scalar reference for [`Self::forward_counts`].
+    #[deprecated(
+        note = "use sushi_ssnn::ScalarBackend(&net).forward_counts() via the InferenceBackend trait"
+    )]
+    pub fn forward_counts_scalar(&self, frames: &[Vec<bool>]) -> Vec<u32> {
+        self.forward_counts_scalar_impl(frames)
     }
 
     /// Predicted class for `frames` (argmax of spike counts; ties go to
@@ -329,19 +344,12 @@ impl BinarizedSnn {
     }
 
     /// The scalar reference for [`Self::predict`].
+    #[deprecated(
+        note = "use sushi_ssnn::ScalarBackend(&net).predict() via the InferenceBackend trait"
+    )]
     pub fn predict_scalar(&self, frames: &[Vec<bool>]) -> usize {
-        argmax_low(&self.forward_counts_scalar(frames))
+        argmax_low(&self.forward_counts_scalar_impl(frames))
     }
-}
-
-/// Argmax with ties to the lowest index.
-fn argmax_low(counts: &[u32]) -> usize {
-    counts
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .expect("at least one class")
 }
 
 #[cfg(test)]
@@ -399,6 +407,22 @@ mod tests {
         let counts = net.forward_counts(&[vec![true, true], vec![true, true]]);
         assert_eq!(counts, vec![2, 0]);
         assert_eq!(net.predict(&[vec![true, true]]), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scalar_shims_still_match_the_backend() {
+        let l1 = BinaryLayer::from_signs(vec![1, 1, 1, -1], 2, 2, vec![2, 1]);
+        let l2 = BinaryLayer::from_signs(vec![1, -1, 1, 1], 2, 2, vec![1, 1]);
+        let net = BinarizedSnn::from_layers(vec![l1, l2]);
+        let oracle = crate::backend::ScalarBackend(&net);
+        let frames = vec![vec![true, true], vec![false, true]];
+        use crate::backend::InferenceBackend;
+        assert_eq!(
+            net.forward_counts_scalar(&frames),
+            oracle.forward_counts(&frames)
+        );
+        assert_eq!(net.predict_scalar(&frames), oracle.predict(&frames));
     }
 
     #[test]

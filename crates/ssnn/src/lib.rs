@@ -24,6 +24,13 @@
 //!   columns and spike frames as `u64` words, 64 synapses per word-op,
 //!   bitwise identical to the scalar reference, with a deterministic
 //!   parallel `predict_batch`;
+//! * [`batchplane`] — the image-major bitplane batch engine: the same
+//!   bit position of up to 64 images per `u64` word, weight-stationary
+//!   sweeps amortizing mask loads across the batch, with an
+//!   AVX-512/VPOPCNTDQ tier on top of the POPCNT/AVX2 ladder;
+//! * [`backend`] — the unified [`InferenceBackend`] entry-point trait
+//!   over the scalar / packed / bitplane engines, selected at runtime by
+//!   a [`Backend`] enum;
 //! * [`encode`] — pulse-stream encoding for the cell-accurate chip netlist;
 //! * [`compiler`] — the offline phase of Fig. 12 tying it all together
 //!   into a [`compiler::ChipProgram`].
@@ -41,6 +48,8 @@
 //! assert_eq!(bin.layer_count(), 2);
 //! ```
 
+pub mod backend;
+pub mod batchplane;
 pub mod binarize;
 pub mod bitslice;
 pub mod bucketing;
@@ -53,6 +62,8 @@ pub mod reload;
 pub mod stateless;
 pub mod timing;
 
+pub use backend::{Backend, BitplaneBackend, InferenceBackend, ScalarBackend, SelectedBackend};
+pub use batchplane::{BitplaneBatch, BitplaneScratch};
 pub use binarize::{BinarizedSnn, BinaryLayer};
 pub use bitslice::{Slice, SliceSchedule};
 pub use bucketing::{analyze_excursion, bucketed_order, inhibitory_first, Excursion};

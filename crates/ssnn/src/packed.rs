@@ -40,6 +40,7 @@
 //! assert_eq!(packed.step(&[true, true]), net.step_scalar(&[true, true]));
 //! ```
 
+use crate::backend::argmax_low;
 use crate::binarize::BinarizedSnn;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -259,6 +260,13 @@ impl PackedLayer {
         } else {
             -1
         }
+    }
+
+    /// The raw column-major mask and threshold storage, for the batch
+    /// kernels in [`crate::batchplane`] (which index columns themselves
+    /// to keep the weight-stationary inner loops tight).
+    pub(crate) fn raw_parts(&self) -> (&[u64], &[u64], &[i64]) {
+        (&self.conn, &self.pos, &self.thresholds)
     }
 
     /// Count of inhibitory (−1) synapses feeding neuron `j`: the popcount
@@ -578,7 +586,7 @@ impl PredictScratch {
 /// more threads than it has items). Mirrors
 /// `sushi_sim::batch::chunk_plan` — kept local because this crate is
 /// deliberately independent of the simulator.
-fn chunk_plan(items: usize, workers: usize) -> Vec<Range<usize>> {
+pub(crate) fn chunk_plan(items: usize, workers: usize) -> Vec<Range<usize>> {
     let workers = workers.clamp(1, items.max(1));
     let base = items / workers;
     let extra = items % workers;
@@ -597,8 +605,8 @@ fn chunk_plan(items: usize, workers: usize) -> Vec<Range<usize>> {
 /// A fully bit-packed network: the XNOR/popcount inference engine.
 ///
 /// Built from a [`BinarizedSnn`]; every result is bitwise identical to the
-/// scalar path (`step_scalar` / `forward_counts_scalar` /
-/// `predict_scalar`), which is kept as the oracle.
+/// scalar path ([`BinarizedSnn::step_scalar`] /
+/// [`crate::backend::ScalarBackend`]), which is kept as the oracle.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PackedSnn {
     layers: Vec<PackedLayer>,
@@ -755,19 +763,10 @@ impl PackedSnn {
     }
 }
 
-/// Argmax with ties to the lowest index, matching the float reference.
-fn argmax_low(counts: &[u32]) -> usize {
-    counts
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .expect("at least one class")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::InferenceBackend;
     use crate::binarize::BinaryLayer;
 
     /// Deterministic xorshift for test fixtures.
@@ -874,16 +873,14 @@ mod tests {
     fn forward_counts_and_predict_match_scalar() {
         let net = random_net(17, &[(80, 21), (21, 5)]);
         let p = PackedSnn::from_network(&net);
+        let oracle = crate::backend::ScalarBackend(&net);
         let mut st = 3u64;
         let frames: Vec<Vec<bool>> = (0..12).map(|_| random_frame(&mut st, 80)).collect();
-        assert_eq!(
-            p.forward_counts(&frames),
-            net.forward_counts_scalar(&frames)
-        );
-        assert_eq!(p.predict(&frames), net.predict_scalar(&frames));
+        assert_eq!(p.forward_counts(&frames), oracle.forward_counts(&frames));
+        assert_eq!(p.predict(&frames), oracle.predict(&frames));
         // Empty frame sequences are fine and agree too.
-        assert_eq!(p.forward_counts(&[]), net.forward_counts_scalar(&[]));
-        assert_eq!(p.predict(&[]), net.predict_scalar(&[]));
+        assert_eq!(p.forward_counts(&[]), oracle.forward_counts(&[]));
+        assert_eq!(p.predict(&[]), oracle.predict(&[]));
     }
 
     #[test]

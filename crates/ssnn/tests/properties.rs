@@ -1,6 +1,7 @@
 //! Property-based tests on the SSNN methodology's invariants.
 
 use proptest::prelude::*;
+use sushi_ssnn::backend::{InferenceBackend, ScalarBackend};
 use sushi_ssnn::binarize::{BinarizedSnn, BinaryLayer};
 use sushi_ssnn::bitslice::SliceSchedule;
 use sushi_ssnn::bucketing::{analyze_excursion, bucketed_order, inhibitory_first};
@@ -224,15 +225,49 @@ proptest! {
     ) {
         let net = net_from_seed(seed, ins, hidden, outs);
         let packed = PackedSnn::from_network(&net);
+        let oracle = ScalarBackend(&net);
         let frames = frames_from_seed(seed ^ 0xF00D, n_frames, ins);
         for f in &frames {
             prop_assert_eq!(packed.step(f), net.step_scalar(f));
             prop_assert_eq!(net.step(f), net.step_scalar(f));
         }
-        prop_assert_eq!(packed.forward_counts(&frames), net.forward_counts_scalar(&frames));
-        prop_assert_eq!(net.forward_counts(&frames), net.forward_counts_scalar(&frames));
-        prop_assert_eq!(packed.predict(&frames), net.predict_scalar(&frames));
-        prop_assert_eq!(net.predict(&frames), net.predict_scalar(&frames));
+        prop_assert_eq!(packed.forward_counts(&frames), oracle.forward_counts(&frames));
+        prop_assert_eq!(net.forward_counts(&frames), oracle.forward_counts(&frames));
+        prop_assert_eq!(packed.predict(&frames), oracle.predict(&frames));
+        prop_assert_eq!(net.predict(&frames), oracle.predict(&frames));
+    }
+
+    /// The bitplane batch engine is a bitwise-exact drop-in for both the
+    /// packed path and the scalar oracle: equal counts, spikes and argmax
+    /// for random shapes (off-word widths, zero signs, an all-inhibitory
+    /// column) and batch sizes spanning lane-group boundaries (1, 63, 64,
+    /// 65), including lanes with differing frame counts.
+    #[test]
+    fn bitplane_matches_packed_and_scalar(
+        ins in 1usize..150,
+        hidden in 1usize..70,
+        outs in 1usize..12,
+        seed in any::<u64>(),
+        n_items in prop_oneof![Just(1usize), Just(5), Just(63), Just(64), Just(65)],
+    ) {
+        let net = net_from_seed(seed, ins, hidden, outs);
+        let packed = PackedSnn::from_network(&net);
+        let oracle = ScalarBackend(&net);
+        // Frame counts vary per item (0..=3) so lanes go inactive at
+        // different steps within one 64-lane group.
+        let items: Vec<Vec<Vec<bool>>> = (0..n_items)
+            .map(|k| frames_from_seed(seed ^ (k as u64 + 17), k % 4, ins))
+            .collect();
+        let counts = packed.forward_counts_bitplane(&items);
+        for (it, got) in items.iter().zip(&counts) {
+            prop_assert_eq!(got, &oracle.forward_counts(it));
+            prop_assert_eq!(got, &packed.forward_counts(it));
+        }
+        let preds = packed.predict_batch_bitplane(&items, 1);
+        prop_assert_eq!(&preds, &packed.predict_batch(&items, 1));
+        let scalar_preds: Vec<usize> = items.iter().map(|it| oracle.predict(it)).collect();
+        prop_assert_eq!(&preds, &scalar_preds);
+        prop_assert_eq!(&packed.predict_batch_bitplane(&items, 3), &preds);
     }
 
     /// `predict_batch` is deterministic and input-ordered for any worker

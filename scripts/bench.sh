@@ -44,6 +44,16 @@ CRITERION_JSON="$raw_ssnn" cargo bench -q -p sushi-bench --bench table3_inferenc
 echo "==> serving-throughput scenarios ($mode)"
 SERVE_JSON="$raw_serve" cargo run --release -q -p sushi-bench -- "${serve_args[@]}" serve
 
+# Benchmark ids must be unique within each raw file: a duplicated id
+# (e.g. a dynamic "<n>_workers" row colliding with a static one on an
+# n-core host) would silently shadow its twin in every jq `first`
+# selector below.
+for raw in "$raw_sim" "$raw_ssnn"; do
+  jq -es 'map(.id) | length == (unique | length)' "$raw" >/dev/null \
+    || { echo "bench.sh: duplicate benchmark ids in $raw:" >&2; \
+         jq -rs 'group_by(.id) | map(select(length > 1) | .[0].id) | .[]' "$raw" >&2; exit 1; }
+done
+
 commit="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
 git diff --quiet HEAD 2>/dev/null || commit="$commit-dirty"
 stamp="$(date -u +%FT%TZ)"
@@ -72,11 +82,16 @@ jq -e '
   and .headline.jtl_batch32_sequential_items_per_s > 0
 ' "$tmp_sim" >/dev/null || { echo "bench.sh: sim summary failed validation" >&2; exit 1; }
 
-# The packed-vs-scalar SSNN headline: images/s for both engines on the
-# paper's 784-800-10 shape, and the speedup ratio between them.
+# The SSNN engine headlines: packed-vs-scalar images/s on the paper's
+# 784-800-10 shape, and the bitplane batch engine against the per-image
+# packed path over the *same* 64 images at the same worker count (both
+# rows live in the ssnn_bitplane group so the ratio isolates the
+# layout+kernel win).
 jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" '
   (map(select(.id == "packed_predict_784_800_10")) | first) as $packed
   | (map(select(.id == "scalar_predict_784_800_10")) | first) as $scalar
+  | (map(select(.id == "bitplane_predict_batch64_784_800_10")) | first) as $plane
+  | (map(select(.id == "packed_predict_batch64_784_800_10")) | first) as $packed64
   | {
       commit: $commit,
       mode: $mode,
@@ -89,26 +104,37 @@ jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" '
         packed_over_scalar_speedup:
           (if ($packed and $scalar and ($scalar.elem_per_s > 0))
            then ($packed.elem_per_s / $scalar.elem_per_s * 100 | round / 100)
+           else null end),
+        bitplane_images_per_s:
+          (if $plane then ($plane.elem_per_s * 1000 | round / 1000) else null end),
+        bitplane_over_packed_speedup:
+          (if ($plane and $packed64 and ($packed64.elem_per_s > 0))
+           then ($plane.elem_per_s / $packed64.elem_per_s * 100 | round / 100)
            else null end)
       },
       benchmarks: .
     }' "$raw_ssnn" > "$tmp_ssnn"
 
-# Structural gate in both modes: the packed and scalar headline rates are
-# present and positive and the speedup is computable.
+# Structural gate in both modes: every headline rate present and positive
+# and both speedups computable.
 jq -e '
-  .commit and (.benchmarks | length) >= 8
+  .commit and (.benchmarks | length) >= 11
   and .headline.packed_images_per_s > 0
   and .headline.scalar_images_per_s > 0
   and .headline.packed_over_scalar_speedup > 0
+  and .headline.bitplane_images_per_s > 0
+  and .headline.bitplane_over_packed_speedup > 0
 ' "$tmp_ssnn" >/dev/null || { echo "bench.sh: ssnn summary failed validation" >&2; exit 1; }
 
-# Performance gate in full mode only (smoke budgets are too noisy): the
+# Performance gates in full mode only (smoke budgets are too noisy): the
 # packed engine must hold at least an 8x throughput lead over the scalar
-# oracle, the PR's acceptance bar.
+# oracle, and the bitplane batch engine at least 3x per-image packed at
+# batch 64 — the PR acceptance bars.
 if [[ "$mode" == full ]]; then
   jq -e '.headline.packed_over_scalar_speedup >= 8' "$tmp_ssnn" >/dev/null \
     || { echo "bench.sh: packed speedup below 8x" >&2; exit 1; }
+  jq -e '.headline.bitplane_over_packed_speedup >= 3' "$tmp_ssnn" >/dev/null \
+    || { echo "bench.sh: bitplane batch-64 speedup below 3x packed" >&2; exit 1; }
 fi
 
 # The serving summary: the serve binary already emits the full payload;
@@ -137,6 +163,8 @@ jq -e '
 # across cores, so it is gated on host parallelism; single-core hosts
 # record the honest ~1x (see EXPERIMENTS.md).
 if [[ "$mode" == full ]]; then
+  jq -e '.headline.bitplane_batches > 0' "$tmp_serve" >/dev/null \
+    || { echo "bench.sh: batched run never took the bitplane path" >&2; exit 1; }
   jq -e '.headline.overload_rejected > 0' "$tmp_serve" >/dev/null \
     || { echo "bench.sh: overload run shed nothing - admission control inert" >&2; exit 1; }
   jq -e '.headline.overload_p99_us < 250000' "$tmp_serve" >/dev/null \
