@@ -45,7 +45,7 @@ pub use network::NetworkKind;
 pub use npe::{BioNeuron, NpeChain, SsnnNeuron};
 pub use power::PerfModel;
 pub use resources::ResourceReport;
-pub use scaleout::MultiChip;
+pub use scaleout::{npe_mesh, MultiChip};
 pub use state_controller::{ScBehavior, ScMode, ScNetlist};
 pub use sync_baseline::SyncAccelerator;
 pub use weight::WeightStructure;

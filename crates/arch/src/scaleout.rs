@@ -12,9 +12,12 @@
 //! the model exposes exactly when scale-out stops paying.
 
 use crate::chip::ChipDesign;
+use crate::npe::NpeNetlist;
 use crate::power::PerfModel;
 use crate::ChipConfig;
 use sushi_cells::params::FIXED_CHIP_POWER_MW;
+use sushi_cells::Ps;
+use sushi_sim::{Netlist, NetlistError, PortRef};
 
 /// Per-link bandwidth of the inter-chip fabric, in spikes per second.
 /// SFQ/DC conversion plus board traces cap links in the tens of Gb/s.
@@ -137,6 +140,79 @@ impl MultiChip {
     }
 }
 
+/// Pulse latency of one inter-NPE board link, in ps. Leaving the die
+/// means SFQ/DC conversion, board-trace flight, and re-injection —
+/// roughly 2 ns, two orders of magnitude above the ~10 ps on-die
+/// inter-SC hop. That gap is exactly what makes these links the natural
+/// cut points for `sushi_sim`'s partitioned event engine: the link
+/// latency is the conservative lookahead, so a whole board advances
+/// 2 ns of simulated time between synchronization barriers.
+pub const INTER_NPE_LINK_PS: Ps = 2_000.0;
+
+/// A simulatable multi-die counter chain: `npes` NPEs (each a ripple
+/// counter of `sc_per_npe` state controllers) daisy-chained over
+/// [`INTER_NPE_LINK_PS`] board links, the cell-level analogue of
+/// [`MultiChip`]'s analytical board model.
+///
+/// The returned netlist is self-contained and ready to simulate:
+///
+/// - input `"in{i}"` drives NPE `i`'s chain input; for `i > 0` it is
+///   merged with the upstream NPE's overflow through a confluence
+///   buffer (SC chains have fan-in 1, so the link and the local
+///   stimulus must join in a CB first);
+/// - inputs `"npe{i}_set1_{b}"` configure SC `b` of NPE `i` to emit on
+///   fall (pulse each once at t = 0 for ripple-carry counting);
+/// - probe `"out{i}"` watches NPE `i`'s overflow output.
+///
+/// With every SC in emit-on-fall mode, each NPE divides its merged
+/// input rate by `2^sc_per_npe`; driving only `in0` makes probe
+/// `out{i}` see the count divided by `2^((i + 1) * sc_per_npe)`.
+///
+/// # Errors
+///
+/// Propagates netlist wiring errors.
+///
+/// # Panics
+///
+/// Panics if `npes == 0` (an empty board has no ports to expose) or if
+/// `sc_per_npe == 0` (an NPE needs at least one SC).
+///
+/// # Examples
+///
+/// ```
+/// use sushi_arch::scaleout::npe_mesh;
+/// use sushi_sim::PartitionPlan;
+///
+/// let n = npe_mesh(4, 2).unwrap();
+/// // The planner shards the board at the slow links between dies.
+/// let plan = PartitionPlan::plan(&n, 4).unwrap();
+/// assert_eq!(plan.parts, 4);
+/// ```
+pub fn npe_mesh(npes: usize, sc_per_npe: usize) -> Result<Netlist, NetlistError> {
+    use sushi_cells::{CellKind, PortName};
+    assert!(npes > 0, "a mesh needs at least one NPE");
+    let mut nl = Netlist::new();
+    let mut prev: Option<PortRef> = None;
+    for i in 0..npes {
+        let npe = NpeNetlist::build(&mut nl, &format!("npe{i}"), sc_per_npe)?;
+        match prev {
+            None => nl.add_input("in0", npe.input.cell, npe.input.port)?,
+            Some(tail) => {
+                let cb = nl.add_cell(CellKind::Cb2, format!("link{i}.cb"));
+                nl.connect_with_delay(tail.cell, tail.port, cb, PortName::DinA, INTER_NPE_LINK_PS)?;
+                nl.add_input(format!("in{i}"), cb, PortName::DinB)?;
+                nl.connect(cb, PortName::Dout, npe.input.cell, npe.input.port)?;
+            }
+        }
+        for (b, sc) in npe.scs.iter().enumerate() {
+            nl.add_input(format!("npe{i}_set1_{b}"), sc.set1.cell, sc.set1.port)?;
+        }
+        nl.probe(format!("out{i}"), npe.out.cell, npe.out.port)?;
+        prev = Some(npe.out);
+    }
+    Ok(nl)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +270,63 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn bad_fraction_panics() {
         let _ = MultiChip::new(2, 8).sustained_gsops(1.5);
+    }
+
+    fn counting_sim<'a>(
+        nl: &'a Netlist,
+        lib: &'a sushi_cells::CellLibrary,
+        npes: usize,
+        sc_per_npe: usize,
+        pulses: &[Ps],
+    ) -> sushi_sim::Simulator<'a> {
+        let mut sim = sushi_sim::SimConfig::new().build(nl, lib);
+        for i in 0..npes {
+            for b in 0..sc_per_npe {
+                sim.inject(&format!("npe{i}_set1_{b}"), &[0.0]).unwrap();
+            }
+        }
+        sim.inject("in0", pulses).unwrap();
+        sim
+    }
+
+    #[test]
+    fn npe_mesh_counts_across_board_links() {
+        let (npes, k) = (2, 3);
+        let nl = npe_mesh(npes, k).unwrap();
+        let lib = sushi_cells::CellLibrary::nb03();
+        let pulses: Vec<Ps> = (0..256).map(|i| 1000.0 + i as Ps * 500.0).collect();
+        let mut sim = counting_sim(&nl, &lib, npes, k, &pulses);
+        sim.run_to_completion().unwrap();
+        // Each NPE divides by 2^k: 256 -> 32 -> 4 overflow pulses.
+        assert_eq!(sim.pulses("out0").len(), 256 >> k);
+        assert_eq!(sim.pulses("out1").len(), 256 >> (2 * k));
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn npe_mesh_shards_at_the_links_and_partitioned_run_matches() {
+        let (npes, k) = (4, 2);
+        let nl = npe_mesh(npes, k).unwrap();
+        let plan = sushi_sim::PartitionPlan::plan(&nl, npes).unwrap();
+        assert_eq!(plan.parts as usize, npes);
+        assert_eq!(plan.lookahead_ps, INTER_NPE_LINK_PS);
+
+        let lib = sushi_cells::CellLibrary::nb03();
+        let pulses: Vec<Ps> = (0..128).map(|i| 1000.0 + i as Ps * 500.0).collect();
+        let drive = |sim: &mut sushi_sim::Simulator<'_>| {
+            // Local stimulus on every die, staggered so link overflows
+            // interleave with it inside the merge CBs.
+            for i in 1..npes {
+                let local: Vec<Ps> = pulses.iter().map(|t| t + i as Ps * 37.0).collect();
+                sim.inject(&format!("in{i}"), &local).unwrap();
+            }
+        };
+        let mut seq = counting_sim(&nl, &lib, npes, k, &pulses);
+        drive(&mut seq);
+        seq.run_to_completion().unwrap();
+        let mut par = counting_sim(&nl, &lib, npes, k, &pulses);
+        drive(&mut par);
+        par.run_partitioned(npes).unwrap();
+        assert_eq!(par.take_outcome(), seq.take_outcome());
     }
 }

@@ -4,6 +4,7 @@
 use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::time::Duration;
 use sushi_arch::npe::NpeNetlist;
+use sushi_arch::scaleout::npe_mesh;
 use sushi_arch::state_controller::ScNetlist;
 use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
 use sushi_sim::{BatchRunner, Netlist, SimConfig, Stimulus, StimulusBuilder};
@@ -102,6 +103,53 @@ fn bench(c: &mut Criterion) {
             |mut sim| {
                 sim.run_to_completion().unwrap();
                 sim.pulses("out").len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // A 4-die NPE mesh with dense per-die stimulus: one large netlist
+    // whose event loop the partitioned engine shards at the 2 ns board
+    // links. Identical netlist and stimulus in both rows, so the time
+    // ratio is the partitioned-engine speedup (~1x on a single-CPU
+    // host, where the workers just time-slice one core).
+    let (mesh_npes, mesh_scs) = (4usize, 16usize);
+    let mesh = npe_mesh(mesh_npes, mesh_scs).unwrap();
+    let mesh_pulses: Vec<Ps> = (0..512).map(|i| 500.0 + i as Ps * 120.0).collect();
+    fn mesh_sim<'a>(
+        netlist: &'a Netlist,
+        lib: &'a CellLibrary,
+        (npes, scs): (usize, usize),
+        pulses: &[Ps],
+    ) -> sushi_sim::Simulator<'a> {
+        let mut sim = SimConfig::new().build(netlist, lib);
+        for i in 0..npes {
+            for b in 0..scs {
+                sim.inject(&format!("npe{i}_set1_{b}"), &[0.0]).unwrap();
+            }
+            // Stagger each die's local train so link overflows interleave
+            // with it inside the merge CBs.
+            let local: Vec<Ps> = pulses.iter().map(|t| t + i as Ps * 37.0).collect();
+            sim.inject(&format!("in{i}"), &local).unwrap();
+        }
+        sim
+    }
+    g.throughput(Throughput::Elements((mesh_npes * mesh_pulses.len()) as u64));
+    g.bench_function("partitioned_mesh_sequential", |b| {
+        b.iter_batched(
+            || mesh_sim(&mesh, &lib, (mesh_npes, mesh_scs), &mesh_pulses),
+            |mut sim| {
+                sim.run_to_completion().unwrap();
+                sim.stats().events_delivered
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("partitioned_mesh_4w", |b| {
+        b.iter_batched(
+            || mesh_sim(&mesh, &lib, (mesh_npes, mesh_scs), &mesh_pulses),
+            |mut sim| {
+                sim.run_partitioned(mesh_npes).unwrap();
+                sim.stats().events_delivered
             },
             BatchSize::SmallInput,
         )

@@ -269,4 +269,48 @@ mod tests {
         assert_eq!(one.p50_us, 7.0);
         assert_eq!(one.p99_us, 7.0);
     }
+
+    /// Percentiles are monotone (p50 <= p95 <= p99 <= max) and the mean
+    /// stays inside [min, max] for every sample-set size, including the
+    /// degenerate 1- and 2-sample runs where the index arithmetic in
+    /// `from_samples` is most easily off by one.
+    #[test]
+    fn latency_summary_percentiles_are_monotone_for_all_sizes() {
+        let two =
+            LatencySummary::from_samples(&[Duration::from_micros(30), Duration::from_micros(10)]);
+        // ceil(2 * 0.50) = 1 -> first order statistic; the upper tail is
+        // the larger sample.
+        assert_eq!(two.p50_us, 10.0);
+        assert_eq!(two.p95_us, 30.0);
+        assert_eq!(two.p99_us, 30.0);
+        assert_eq!(two.max_us, 30.0);
+        assert_eq!(two.mean_us, 20.0);
+
+        // Deterministic pseudo-random sweep over sizes 1..=64.
+        let mut state = 0x5EED_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for len in 1usize..=64 {
+            let samples: Vec<Duration> = (0..len)
+                .map(|_| Duration::from_nanos(next() % 5_000_000))
+                .collect();
+            let s = LatencySummary::from_samples(&samples);
+            let min = samples.iter().min().unwrap().as_secs_f64() * 1e6;
+            assert!(
+                min <= s.p50_us
+                    && s.p50_us <= s.p95_us
+                    && s.p95_us <= s.p99_us
+                    && s.p99_us <= s.max_us,
+                "percentiles not monotone at len={len}: {s:?}"
+            );
+            assert!(
+                min <= s.mean_us && s.mean_us <= s.max_us,
+                "mean outside range at len={len}: {s:?}"
+            );
+        }
+    }
 }

@@ -10,10 +10,9 @@
 use crate::event::Event;
 use crate::netlist::{CellId, Netlist, PortRef, Wire};
 use crate::observe::SimObserver;
+use crate::partition::{DeliveryRecord, Routing};
 use crate::queue::CalendarQueue;
 use crate::state::{CellState, LogicalIssue};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -162,16 +161,16 @@ impl SimStats {
 /// per-kind switch array, materialized into the map-keyed [`SimStats`]
 /// only at the API boundary (`stats()`/`take_outcome`).
 #[derive(Debug, Clone, Default)]
-struct RawStats {
-    events_delivered: u64,
-    pulses_emitted: u64,
-    pulses_dropped: u64,
-    switch_counts: [u64; CellKind::COUNT],
-    final_time_ps: Ps,
+pub(crate) struct RawStats {
+    pub(crate) events_delivered: u64,
+    pub(crate) pulses_emitted: u64,
+    pub(crate) pulses_dropped: u64,
+    pub(crate) switch_counts: [u64; CellKind::COUNT],
+    pub(crate) final_time_ps: Ps,
 }
 
 impl RawStats {
-    fn materialize(&self) -> SimStats {
+    pub(crate) fn materialize(&self) -> SimStats {
         SimStats {
             events_delivered: self.events_delivered,
             pulses_emitted: self.pulses_emitted,
@@ -199,6 +198,14 @@ pub enum SimError {
     UnknownProbe(String),
     /// The event budget was exhausted (suggests a zero-delay loop).
     EventLimitExceeded(u64),
+    /// An inject time was NaN or infinite. A NaN would poison the event
+    /// queue's total order mid-run; it is rejected at the API boundary.
+    NonFiniteInjectTime {
+        /// The input the time was injected on.
+        input: String,
+        /// The offending time.
+        time: Ps,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -211,6 +218,9 @@ impl fmt::Display for SimError {
                     f,
                     "event limit {n} exceeded; possible zero-delay feedback loop"
                 )
+            }
+            SimError::NonFiniteInjectTime { input, time } => {
+                write!(f, "non-finite inject time {time} ps on input {input:?}")
             }
         }
     }
@@ -230,22 +240,42 @@ pub enum Fault {
     IgnoreInput,
 }
 
-/// Deterministic Gaussian timing jitter on cell delays. Keeps its seed so
-/// [`Simulator::reset`] can rewind the stream to its exact start.
-#[derive(Debug, Clone)]
+/// Deterministic Gaussian timing jitter on cell delays.
+///
+/// Draws are a pure function of `(seed, cell, per-cell draw ordinal)`
+/// rather than positions in one sequential RNG stream, so a cell's jitter
+/// does not depend on how deliveries to *other* cells interleave with its
+/// own — the property that lets [`Simulator::run_partitioned`] reproduce a
+/// sequential run bitwise.
+#[derive(Debug, Clone, Copy)]
 struct Jitter {
     seed: u64,
     sigma_ps: Ps,
-    rng: StdRng,
+}
+
+/// The splitmix64 finalizer: a cheap, well-distributed u64 -> u64 hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Jitter {
     fn new(seed: u64, sigma_ps: Ps) -> Self {
-        Self {
-            seed,
-            sigma_ps,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        Self { seed, sigma_ps }
+    }
+
+    /// Standard-normal draw number `draw` for cell index `cell`
+    /// (Box-Muller over two hash-derived uniforms).
+    fn gauss(&self, cell: usize, draw: u32) -> f64 {
+        let key = ((cell as u64) << 32) | u64::from(draw);
+        let h1 = splitmix64(self.seed ^ splitmix64(key));
+        let h2 = splitmix64(h1);
+        let scale = 1.0 / (1u64 << 53) as f64;
+        let u1 = ((h1 >> 11) as f64 + 1.0) * scale; // in (0, 1]: ln is finite
+        let u2 = (h2 >> 11) as f64 * scale; // in [0, 1)
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 }
 
@@ -274,13 +304,27 @@ impl SimOutcome {
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
-    netlist: &'a Netlist,
-    states: Vec<CellState>,
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) states: Vec<CellState>,
     /// Most recent pulse-arrival time per cell, indexed by
     /// [`PortName::index`]; `NEG_INFINITY` = no pulse yet.
-    arrivals: Vec<[Ps; PortName::COUNT]>,
-    queue: CalendarQueue,
-    seq: u64,
+    pub(crate) arrivals: Vec<[Ps; PortName::COUNT]>,
+    pub(crate) queue: CalendarQueue,
+    /// Per-output-slot emission ordinals. An emitted event's tie-break key
+    /// is `slot << 32 | ordinal` — a *provenance* key derived from its
+    /// source, not from a global push counter, so any partitioning of the
+    /// netlist reproduces the exact sequential delivery order.
+    pub(crate) emit_seq: Vec<u32>,
+    /// External input names, ascending (the netlist's `BTreeMap` order);
+    /// a channel's position here keys its injection ordinals.
+    input_names: Vec<String>,
+    /// Target port per input channel (same order as `input_names`).
+    input_targets: Vec<PortRef>,
+    /// Per-channel injection ordinals: injected events use the pseudo-slot
+    /// `slots + channel` in their provenance key.
+    inject_seq: Vec<u32>,
+    /// Per-cell jitter draw ordinals (counted only while jitter is on).
+    pub(crate) jitter_draws: Vec<u32>,
 
     // Dense construction-time tables; `deliver` never touches a map.
     /// Cell kind per cell index.
@@ -303,10 +347,10 @@ pub struct Simulator<'a> {
 
     /// Recorded pulse times per probe id; names resolve only at the API
     /// boundary (`pulses`/`traces`/`take_outcome`).
-    probe_traces: Vec<Vec<Ps>>,
-    violations: Vec<Violation>,
-    raw: RawStats,
-    event_limit: u64,
+    pub(crate) probe_traces: Vec<Vec<Ps>>,
+    pub(crate) violations: Vec<Violation>,
+    pub(crate) raw: RawStats,
+    pub(crate) event_limit: u64,
     /// Injected fabrication defects per cell index.
     faults: Vec<Option<Fault>>,
     /// Fabrication-spread timing jitter. None = nominal timing.
@@ -314,10 +358,14 @@ pub struct Simulator<'a> {
     /// True between the first `inject` of a run and the moment the queue
     /// drains inside `run_until` — the window in which `on_run_end` fires
     /// exactly once.
-    run_active: bool,
+    pub(crate) run_active: bool,
     /// Optional instrumentation hooks. None = zero-cost (one predictable
     /// branch per event).
-    observer: Option<Box<dyn SimObserver>>,
+    pub(crate) observer: Option<Box<dyn SimObserver>>,
+    /// Cross-partition event routing and the delivery log backing the
+    /// deterministic merge; `Some` only while a partition worker drives
+    /// this simulator (see [`crate::partition`]).
+    pub(crate) routing: Option<Box<Routing>>,
 }
 
 /// The dense arrival table of a cell with no pulses delivered yet.
@@ -367,12 +415,18 @@ impl<'a> Simulator<'a> {
             probe_offsets.push(probe_ids.len() as u32);
         }
 
+        let input_names: Vec<String> = netlist.inputs().keys().cloned().collect();
+        let input_targets: Vec<PortRef> = netlist.inputs().values().copied().collect();
         Self {
             netlist,
             states,
             arrivals: vec![NO_ARRIVALS; cell_count],
             queue: CalendarQueue::new(),
-            seq: 0,
+            emit_seq: vec![0; slots],
+            inject_seq: vec![0; input_names.len()],
+            input_names,
+            input_targets,
+            jitter_draws: vec![0; cell_count],
             kinds,
             constraint_tabs,
             delay_by_kind,
@@ -388,6 +442,7 @@ impl<'a> Simulator<'a> {
             jitter: None,
             run_active: false,
             observer: None,
+            routing: None,
         }
     }
 
@@ -453,22 +508,35 @@ impl<'a> Simulator<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownInput`] if `name` was never registered.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any time is NaN.
+    /// Returns [`SimError::UnknownInput`] if `name` was never registered,
+    /// and [`SimError::NonFiniteInjectTime`] if any time is NaN or
+    /// infinite (checked before anything is scheduled, so a failed inject
+    /// leaves the queue untouched).
     pub fn inject(&mut self, name: &str, times: &[Ps]) -> Result<(), SimError> {
-        let &target = self
-            .netlist
-            .inputs()
-            .get(name)
-            .ok_or_else(|| SimError::UnknownInput(name.to_owned()))?;
-        for &t in times {
-            self.queue.push(Event::new(t, self.seq, target));
-            self.seq += 1;
+        let chan = self
+            .input_names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .map_err(|_| SimError::UnknownInput(name.to_owned()))?;
+        if let Some(&t) = times.iter().find(|t| !t.is_finite()) {
+            return Err(SimError::NonFiniteInjectTime {
+                input: name.to_owned(),
+                time: t,
+            });
         }
-        self.run_active = true;
+        let target = self.input_targets[chan];
+        // Injected events take the pseudo-slot `slots + channel` in their
+        // provenance key, disjoint from every real output slot.
+        let slot_base = ((self.wire_to.len() + chan) as u64) << 32;
+        for &t in times {
+            let key = slot_base | u64::from(self.inject_seq[chan]);
+            self.inject_seq[chan] += 1;
+            self.queue.push(Event::new(t, key, target));
+        }
+        // An empty inject schedules nothing: marking the run active anyway
+        // would make the next drain fire `on_run_end` for a phantom run.
+        if !times.is_empty() {
+            self.run_active = true;
+        }
         if let Some(obs) = self.observer.as_mut() {
             obs.on_inject(name, times);
         }
@@ -514,7 +582,7 @@ impl<'a> Simulator<'a> {
         Ok(())
     }
 
-    fn deliver(&mut self, ev: Event) {
+    pub(crate) fn deliver(&mut self, ev: Event) {
         let cell_id = ev.target.cell;
         let ci = cell_id.index();
         let kind = self.kinds[ci];
@@ -522,11 +590,23 @@ impl<'a> Simulator<'a> {
             obs.on_deliver(cell_id, kind, ev.time);
         }
         let fault = self.faults[ci];
+        self.raw.events_delivered += 1;
         if fault == Some(Fault::IgnoreInput) {
-            self.raw.events_delivered += 1;
+            let vio = self.violations.len() as u32;
+            if let Some(r) = self.routing.as_mut() {
+                r.log.push(DeliveryRecord {
+                    time: ev.time,
+                    key: ev.seq,
+                    cell: cell_id,
+                    kind,
+                    vio_start: vio,
+                    vio_end: vio,
+                    emit_time: 0.0,
+                    emit_count: 0,
+                });
+            }
             return;
         }
-        self.raw.events_delivered += 1;
         self.raw.final_time_ps = self.raw.final_time_ps.max(ev.time);
         self.raw.switch_counts[kind.index()] += 1;
 
@@ -565,44 +645,62 @@ impl<'a> Simulator<'a> {
                 obs.on_violation(v);
             }
         }
-        if fault == Some(Fault::DropOutput) {
-            return;
-        }
-        let mut delay = self.delay_by_kind[kind.index()];
-        if let Some(j) = &mut self.jitter {
-            // Box-Muller; delays cannot go below a quarter of nominal.
-            let u1: f64 = j.rng.gen_range(1e-12..1.0);
-            let u2: f64 = j.rng.gen();
-            let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            delay = (delay + j.sigma_ps * gauss).max(delay / 4.0);
-        }
-        for out_port in response.emitted() {
-            self.raw.pulses_emitted += 1;
-            let emit_time = ev.time + delay;
-            if let Some(obs) = self.observer.as_mut() {
-                obs.on_emit(cell_id, kind, emit_time);
+        let mut emit_time = 0.0;
+        let mut emit_count = 0u8;
+        if fault != Some(Fault::DropOutput) {
+            let mut delay = self.delay_by_kind[kind.index()];
+            if let Some(j) = &self.jitter {
+                // Box-Muller; delays cannot go below a quarter of nominal.
+                let draw = self.jitter_draws[ci];
+                self.jitter_draws[ci] += 1;
+                delay = (delay + j.sigma_ps * j.gauss(ci, draw)).max(delay / 4.0);
             }
-            let out_slot = ci * PortName::COUNT + out_port.index();
-            let mut consumed = false;
-            let (lo, hi) = (
-                self.probe_offsets[out_slot] as usize,
-                self.probe_offsets[out_slot + 1] as usize,
-            );
-            if lo < hi {
-                for &pid in &self.probe_ids[lo..hi] {
-                    self.probe_traces[pid as usize].push(emit_time);
+            for out_port in response.emitted() {
+                self.raw.pulses_emitted += 1;
+                emit_time = ev.time + delay;
+                emit_count += 1;
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.on_emit(cell_id, kind, emit_time);
                 }
-                consumed = true;
+                let out_slot = ci * PortName::COUNT + out_port.index();
+                let mut consumed = false;
+                let (lo, hi) = (
+                    self.probe_offsets[out_slot] as usize,
+                    self.probe_offsets[out_slot + 1] as usize,
+                );
+                if lo < hi {
+                    for &pid in &self.probe_ids[lo..hi] {
+                        self.probe_traces[pid as usize].push(emit_time);
+                    }
+                    consumed = true;
+                }
+                if let Some(wire) = self.wire_to[out_slot] {
+                    let key = ((out_slot as u64) << 32) | u64::from(self.emit_seq[out_slot]);
+                    self.emit_seq[out_slot] += 1;
+                    let out = Event::new(emit_time + wire.delay_ps, key, wire.to);
+                    match self.routing.as_mut() {
+                        Some(r) if r.part_of[wire.to.cell.index()] != r.local => r.outbox.push(out),
+                        _ => self.queue.push(out),
+                    }
+                    consumed = true;
+                }
+                if !consumed {
+                    self.raw.pulses_dropped += 1;
+                }
             }
-            if let Some(wire) = self.wire_to[out_slot] {
-                self.queue
-                    .push(Event::new(emit_time + wire.delay_ps, self.seq, wire.to));
-                self.seq += 1;
-                consumed = true;
-            }
-            if !consumed {
-                self.raw.pulses_dropped += 1;
-            }
+        }
+        let vio_end = self.violations.len() as u32;
+        if let Some(r) = self.routing.as_mut() {
+            r.log.push(DeliveryRecord {
+                time: ev.time,
+                key: ev.seq,
+                cell: cell_id,
+                kind,
+                vio_start: vstart as u32,
+                vio_end,
+                emit_time,
+                emit_count,
+            });
         }
     }
 
@@ -711,20 +809,20 @@ impl<'a> Simulator<'a> {
             *a = NO_ARRIVALS;
         }
         self.queue.clear();
-        // Restart the deterministic tie-break counter; leaving it mid-count
-        // would order equal-time events differently on the re-run.
-        self.seq = 0;
+        // Restart the deterministic provenance-key ordinals; leaving them
+        // mid-count would order equal-time events differently on the
+        // re-run. Jitter draw counters rewind for the same reason: draw
+        // `n` for a cell always yields the same delay under one seed.
+        self.emit_seq.fill(0);
+        self.inject_seq.fill(0);
+        self.jitter_draws.fill(0);
         for t in self.probe_traces.iter_mut() {
             t.clear();
         }
         self.violations.clear();
         self.raw = RawStats::default();
         self.run_active = false;
-        // Rewind the jitter stream; leaving the RNG mid-stream would give
-        // the re-run different delays than the first run.
-        if let Some(j) = &mut self.jitter {
-            *j = Jitter::new(j.seed, j.sigma_ps);
-        }
+        self.routing = None;
     }
 }
 
@@ -1133,5 +1231,69 @@ mod tests {
         sim.inject("in", &[100.0]).unwrap();
         sim.run_to_completion().unwrap();
         assert_eq!(ends(&mut sim), 2);
+    }
+
+    /// Bugfix regression: NaN (and infinite) inject times used to pass
+    /// `inject` — the doc said "panics if any time is NaN" but the panic
+    /// actually fired later, inside an unrelated queue comparison during
+    /// `run`. They are now rejected up front as a structured error.
+    #[test]
+    fn non_finite_inject_times_are_rejected_up_front() {
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = sim.inject("in", &[100.0, bad]).unwrap_err();
+            assert!(
+                matches!(&err, SimError::NonFiniteInjectTime { input, .. } if input == "in"),
+                "{err:?}"
+            );
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            // The failed inject is atomic: not even the valid 100.0 was
+            // scheduled, and no phantom run opened.
+            assert!(sim.is_idle());
+        }
+        sim.run_to_completion().unwrap();
+        assert!(sim.pulses("out").is_empty());
+        assert_eq!(sim.stats().events_delivered, 0);
+    }
+
+    /// Bugfix regression: `inject(name, &[])` used to set `run_active`, so
+    /// the next drain fired `on_run_end` for a run in which no event was
+    /// ever scheduled or delivered — observers saw a phantom run.
+    #[test]
+    fn empty_inject_does_not_open_a_phantom_run() {
+        #[derive(Debug, Clone, Default)]
+        struct RunEnds(u64);
+        impl SimObserver for RunEnds {
+            fn on_run_end(&mut self, _stats: &SimStats) {
+                self.0 += 1;
+            }
+            fn box_clone(&self) -> Box<dyn SimObserver> {
+                Box::new(self.clone())
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+
+        let n = simple_chain();
+        let l = lib();
+        let mut sim = Simulator::new(&n, &l);
+        sim.attach_observer(RunEnds::default());
+        sim.inject("in", &[]).unwrap();
+        sim.run_to_completion().unwrap();
+        sim.run_to_completion().unwrap();
+        let ends = sim.take_observer_as::<RunEnds>().unwrap();
+        assert_eq!(ends.0, 0, "nothing was scheduled: no run can end");
+
+        // A real injection after the empty one still opens (and ends)
+        // exactly one run.
+        sim.attach_observer(RunEnds::default());
+        sim.inject("in", &[]).unwrap();
+        sim.inject("in", &[100.0]).unwrap();
+        sim.run_to_completion().unwrap();
+        let ends = sim.take_observer_as::<RunEnds>().unwrap();
+        assert_eq!(ends.0, 1);
     }
 }

@@ -9,8 +9,12 @@ use sushi_cells::Ps;
 pub struct Event {
     /// Arrival time in ps.
     pub time: Ps,
-    /// Tie-break sequence number: equal-time events are delivered in
-    /// scheduling order, making simulations deterministic.
+    /// Tie-break key for equal-time events, making simulations
+    /// deterministic. The engine packs a *provenance* key here —
+    /// `source slot << 32 | per-slot ordinal`, where the slot is the
+    /// emitting output port (or a pseudo-slot per external input
+    /// channel) — so the order is a property of the netlist and stimulus
+    /// alone, identical under any partitioning of the event loop.
     pub seq: u64,
     /// The destination input port.
     pub target: PortRef,

@@ -41,6 +41,7 @@ pub mod event;
 pub mod json;
 pub mod netlist;
 pub mod observe;
+pub mod partition;
 pub mod queue;
 pub mod state;
 pub mod stimulus;
@@ -56,6 +57,7 @@ pub use observe::{
     ActivityProfiler, CellActivity, HotCellEntry, RingTracer, SimObserver, ThroughputMeter,
     TraceEvent, TraceKind,
 };
+pub use partition::PartitionPlan;
 pub use queue::CalendarQueue;
 pub use stimulus::{Stimulus, StimulusBuilder};
 pub use waveform::{levels_from_pulses, render_pulse_rows, LevelTrace, PulseTrain};

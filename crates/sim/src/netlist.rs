@@ -75,6 +75,9 @@ pub enum NetlistError {
     DuplicateName(String),
     /// Negative wire delay.
     NegativeDelay(Ps),
+    /// Non-finite (NaN or infinite) wire delay. A NaN delay would poison
+    /// the event queue's total order mid-run; it is rejected here instead.
+    InvalidDelay(Ps),
     /// Unknown cell id (from another netlist).
     UnknownCell(CellId),
 }
@@ -102,6 +105,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicateName(n) => write!(f, "name {n:?} registered twice"),
             NetlistError::NegativeDelay(d) => write!(f, "negative wire delay {d} ps"),
+            NetlistError::InvalidDelay(d) => {
+                write!(f, "wire delay must be finite, got {d} ps")
+            }
             NetlistError::UnknownCell(c) => write!(f, "cell {c} does not belong to this netlist"),
         }
     }
@@ -191,7 +197,9 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// As [`Netlist::connect`], plus [`NetlistError::NegativeDelay`].
+    /// As [`Netlist::connect`], plus [`NetlistError::NegativeDelay`] for
+    /// negative delays and [`NetlistError::InvalidDelay`] for NaN or
+    /// infinite ones.
     pub fn connect_with_delay(
         &mut self,
         from: CellId,
@@ -200,6 +208,9 @@ impl Netlist {
         in_port: PortName,
         delay_ps: Ps,
     ) -> Result<(), NetlistError> {
+        if !delay_ps.is_finite() {
+            return Err(NetlistError::InvalidDelay(delay_ps));
+        }
         if delay_ps < 0.0 {
             return Err(NetlistError::NegativeDelay(delay_ps));
         }
@@ -473,6 +484,26 @@ mod tests {
             .connect_with_delay(a, PortName::Dout, b, PortName::Din, -1.0)
             .unwrap_err();
         assert_eq!(err, NetlistError::NegativeDelay(-1.0));
+    }
+
+    /// Regression: a NaN delay used to pass the `< 0.0` check and only blow
+    /// up later, deep inside the event queue's total-order comparison,
+    /// once the first pulse crossed the wire mid-run.
+    #[test]
+    fn non_finite_delay_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let (mut n, a, b) = two_jtl();
+            let err = n
+                .connect_with_delay(a, PortName::Dout, b, PortName::Din, bad)
+                .unwrap_err();
+            assert!(
+                matches!(err, NetlistError::InvalidDelay(d) if d.is_nan() == bad.is_nan()),
+                "delay {bad}: got {err:?}"
+            );
+            assert!(err.to_string().contains("finite"), "{err}");
+            // The failed connect must leave the netlist untouched.
+            assert!(n.wires().next().is_none());
+        }
     }
 
     #[test]

@@ -61,7 +61,13 @@ use sushi_cells::{CellKind, CellLibrary, Ps};
 /// [`SimObserver::into_any`]) keep [`Simulator`](crate::Simulator)
 /// cloneable and let callers recover the concrete observer after a run via
 /// [`Simulator::take_observer_as`](crate::Simulator::take_observer_as).
-pub trait SimObserver: fmt::Debug {
+///
+/// Observers are `Send` so a simulator can cross into the partitioned
+/// parallel runner
+/// ([`Simulator::run_partitioned`](crate::Simulator::run_partitioned));
+/// hooks still only ever fire from one thread at a time, in exact
+/// sequential order.
+pub trait SimObserver: fmt::Debug + Send {
     /// Pulses were scheduled on the named external input.
     fn on_inject(&mut self, input: &str, times: &[Ps]) {
         let _ = (input, times);

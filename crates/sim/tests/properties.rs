@@ -6,7 +6,7 @@ use sushi_cells::{CellKind, CellLibrary, PortName, Ps};
 use sushi_sim::event::Event;
 use sushi_sim::{
     levels_from_pulses, BatchRunner, CalendarQueue, CellId, Netlist, PortRef, PulseTrain,
-    SimConfig, StimulusBuilder,
+    RingTracer, SimConfig, SimOutcome, StimulusBuilder,
 };
 
 /// Strategy: a monotonically increasing pulse train with safe spacing.
@@ -20,6 +20,72 @@ fn safe_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
             })
             .collect()
     })
+}
+
+/// Strategy: a pulse train tight enough to provoke hold/setup violations
+/// in JTL/TFFL pipelines, so equality checks cover the violation path too.
+fn tight_train(max_len: usize) -> impl Strategy<Value = Vec<Ps>> {
+    prop::collection::vec(8.0..60.0f64, 1..max_len).prop_map(|gaps| {
+        let mut t = 0.0;
+        gaps.iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+/// A line of `segments` JTL/TFFL segments joined by large-delay links —
+/// the shape `PartitionPlan` cuts — with a probe at every segment tail.
+fn segmented_netlist(segments: usize, stages: usize, link_ps: Ps, stateful: bool) -> Netlist {
+    let mut n = Netlist::new();
+    let mut prev: Option<CellId> = None;
+    for s in 0..segments {
+        for i in 0..stages {
+            let kind = if stateful && i == stages / 2 {
+                CellKind::Tffl
+            } else {
+                CellKind::Jtl
+            };
+            let c = n.add_cell(kind, format!("c{s}_{i}"));
+            match prev {
+                None => n.add_input("in", c, PortName::Din).unwrap(),
+                Some(p) => {
+                    let delay = if i == 0 { link_ps } else { 2.0 };
+                    n.connect_with_delay(p, PortName::Dout, c, PortName::Din, delay)
+                        .unwrap();
+                }
+            }
+            prev = Some(c);
+        }
+        n.probe(format!("out{s}"), prev.unwrap(), PortName::Dout)
+            .unwrap();
+    }
+    n
+}
+
+/// Runs one simulation to completion and returns everything observable:
+/// the outcome (traces, violations, stats) and the full observer stream.
+fn run_once(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    jitter: Option<u64>,
+    pulses: &[Ps],
+    partitions: Option<usize>,
+) -> (SimOutcome, RingTracer) {
+    let mut cfg = SimConfig::new().observer(RingTracer::new(1 << 14));
+    if let Some(seed) = jitter {
+        cfg = cfg.jitter(seed, 2.0);
+    }
+    let mut sim = cfg.build(netlist, library);
+    sim.inject("in", pulses).unwrap();
+    match partitions {
+        Some(k) => sim.run_partitioned(k).unwrap(),
+        None => sim.run_to_completion().unwrap(),
+    }
+    let tracer = sim.take_observer_as::<RingTracer>().unwrap();
+    (sim.take_outcome(), tracer)
 }
 
 proptest! {
@@ -312,6 +378,80 @@ proptest! {
                 }
             }
         }
+        while let Some(e) = heap.pop() {
+            let g = cal.pop();
+            prop_assert_eq!(Some((e.time, e.seq)), g.map(|g| (g.time, g.seq)));
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    /// The partitioned engine is invisible to results: for random
+    /// segmented netlists, stimulus (including violation-provoking
+    /// spacings), and jitter seeds, `run_partitioned(k)` reproduces the
+    /// sequential run bitwise — traces, violations, stats, and the full
+    /// observer event stream — for k in {1, 2, 4, 7}.
+    #[test]
+    fn partitioned_runs_match_sequential_bitwise(
+        segments in 2usize..5,
+        stages in 2usize..5,
+        link in 25.0..60.0f64,
+        stateful: bool,
+        jitter in prop::option::of(any::<u64>()),
+        pulses in tight_train(24),
+    ) {
+        let n = segmented_netlist(segments, stages, link, stateful);
+        let lib = CellLibrary::nb03();
+        let (seq_out, seq_trace) = run_once(&n, &lib, jitter, &pulses, None);
+        for k in [1usize, 2, 4, 7] {
+            let (out, trace) = run_once(&n, &lib, jitter, &pulses, Some(k));
+            prop_assert_eq!(&out, &seq_out, "outcome diverged at k={}", k);
+            prop_assert_eq!(&trace, &seq_trace, "observer stream diverged at k={}", k);
+        }
+    }
+
+    /// The calendar queue under the partition merge pattern: several
+    /// logical sources push with provenance keys (`slot << 32 | ordinal`)
+    /// in window-sized batches — equal times across sources, interleaved
+    /// key order, drains to a horizon between batches (spanning bucket
+    /// rebuilds) — and must still pop in exactly `(time, key)` order.
+    #[test]
+    fn calendar_queue_merges_multi_source_windows_like_a_heap(
+        windows in prop::collection::vec(
+            prop::collection::vec((0u64..4, 0u64..16), 0..24),
+            1..24,
+        ),
+    ) {
+        let target = PortRef::new(CellId::from_index(0), PortName::Din);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut cal = CalendarQueue::new();
+        let mut ordinal = [0u32; 4];
+        let mut window_start = 0.0f64;
+        // Lookahead-sized windows, like `run_partitioned`'s horizon.
+        let lookahead = 4.0f64;
+
+        for batch in windows {
+            // Mailbox exchange: every source deposits its window's
+            // emissions, many at identical quantized times.
+            for (slot, tick) in batch {
+                let t = window_start + tick as f64 * 0.25;
+                let key = (slot << 32) | u64::from(ordinal[slot as usize]);
+                ordinal[slot as usize] += 1;
+                heap.push(Event::new(t, key, target));
+                cal.push(Event::new(t, key, target));
+            }
+            // Drain strictly below the horizon, exactly like a worker's
+            // window loop; both queues must agree event-for-event.
+            let horizon = window_start + lookahead;
+            while heap.peek().is_some_and(|e| e.time < horizon) {
+                let e = heap.pop().unwrap();
+                prop_assert!(cal.peek_time().is_some_and(|t| t < horizon));
+                let g = cal.pop().unwrap();
+                prop_assert_eq!((e.time, e.seq), (g.time, g.seq));
+            }
+            prop_assert!(!cal.peek_time().is_some_and(|t| t < horizon));
+            window_start = horizon;
+        }
+        // End of run: the leftover tail beyond the last horizon.
         while let Some(e) = heap.pop() {
             let g = cal.pop();
             prop_assert_eq!(Some((e.time, e.seq)), g.map(|g| (g.time, g.seq)));

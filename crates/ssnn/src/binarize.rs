@@ -296,8 +296,8 @@ impl BinarizedSnn {
     }
 
     /// Runs `frames` (one bool vec per time step), returning per-class
-    /// spike counts. Packed fast path; bitwise identical to
-    /// [`Self::forward_counts_scalar`].
+    /// spike counts. Packed fast path; bitwise identical to the scalar
+    /// reference (`sushi_ssnn::ScalarBackend`).
     pub fn forward_counts(&self, frames: &[Vec<bool>]) -> Vec<u32> {
         let mut counts = vec![0u32; self.classes()];
         let mut x = PackedFrame::default();
@@ -316,8 +316,8 @@ impl BinarizedSnn {
         counts
     }
 
-    /// The scalar reference for [`Self::forward_counts`], shared by the
-    /// deprecated inherent shim and `ScalarBackend`.
+    /// The scalar reference for [`Self::forward_counts`], used by
+    /// `ScalarBackend`.
     pub(crate) fn forward_counts_scalar_impl(&self, frames: &[Vec<bool>]) -> Vec<u32> {
         let mut counts = vec![0u32; self.classes()];
         for f in frames {
@@ -328,27 +328,12 @@ impl BinarizedSnn {
         counts
     }
 
-    /// The scalar reference for [`Self::forward_counts`].
-    #[deprecated(
-        note = "use sushi_ssnn::ScalarBackend(&net).forward_counts() via the InferenceBackend trait"
-    )]
-    pub fn forward_counts_scalar(&self, frames: &[Vec<bool>]) -> Vec<u32> {
-        self.forward_counts_scalar_impl(frames)
-    }
-
     /// Predicted class for `frames` (argmax of spike counts; ties go to
     /// the lowest index, matching the float reference's argmax). Packed
-    /// fast path; bitwise identical to [`Self::predict_scalar`].
+    /// fast path; bitwise identical to the scalar reference
+    /// (`sushi_ssnn::ScalarBackend`).
     pub fn predict(&self, frames: &[Vec<bool>]) -> usize {
         argmax_low(&self.forward_counts(frames))
-    }
-
-    /// The scalar reference for [`Self::predict`].
-    #[deprecated(
-        note = "use sushi_ssnn::ScalarBackend(&net).predict() via the InferenceBackend trait"
-    )]
-    pub fn predict_scalar(&self, frames: &[Vec<bool>]) -> usize {
-        argmax_low(&self.forward_counts_scalar_impl(frames))
     }
 }
 
@@ -407,22 +392,6 @@ mod tests {
         let counts = net.forward_counts(&[vec![true, true], vec![true, true]]);
         assert_eq!(counts, vec![2, 0]);
         assert_eq!(net.predict(&[vec![true, true]]), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_scalar_shims_still_match_the_backend() {
-        let l1 = BinaryLayer::from_signs(vec![1, 1, 1, -1], 2, 2, vec![2, 1]);
-        let l2 = BinaryLayer::from_signs(vec![1, -1, 1, 1], 2, 2, vec![1, 1]);
-        let net = BinarizedSnn::from_layers(vec![l1, l2]);
-        let oracle = crate::backend::ScalarBackend(&net);
-        let frames = vec![vec![true, true], vec![false, true]];
-        use crate::backend::InferenceBackend;
-        assert_eq!(
-            net.forward_counts_scalar(&frames),
-            oracle.forward_counts(&frames)
-        );
-        assert_eq!(net.predict_scalar(&frames), oracle.predict(&frames));
     }
 
     #[test]

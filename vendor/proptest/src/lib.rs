@@ -1,8 +1,9 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the slice of the proptest API this workspace uses:
-//! [`Strategy`] with `prop_map`/`boxed`, range and [`Just`] strategies,
-//! [`any`], `prop::collection::vec`, [`prop_oneof!`], and the
+//! [`Strategy`] with `prop_map`/`boxed`, range, tuple, and [`Just`]
+//! strategies, [`any`], `prop::collection::vec`, `prop::option::of`,
+//! [`prop_oneof!`], and the
 //! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`]
 //! macros. Unlike upstream there is no shrinking and no persisted failure
 //! seeds: every test run draws the same deterministic case sequence from a
@@ -99,6 +100,18 @@ macro_rules! impl_range_strategy {
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident.$i:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 /// Types with a canonical "draw anything" strategy (stand-in for
 /// `proptest::arbitrary::Arbitrary`).
@@ -240,6 +253,34 @@ pub mod prop {
                     rng.gen_range(self.size.min..self.size.max_exclusive)
                 };
                 (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Option<S::Value>` (output of [`of`]).
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `Option` strategy: `None` half the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.gen() {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
             }
         }
     }
@@ -489,6 +530,24 @@ mod tests {
         assert!(r.unwrap_err().contains("case 3/"));
     }
 
+    #[test]
+    fn option_strategy_yields_both_variants() {
+        let s = prop::option::of(0u32..10);
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        let mut nones = 0;
+        let mut somes = 0;
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                None => nones += 1,
+                Some(v) => {
+                    assert!(v < 10);
+                    somes += 1;
+                }
+            }
+        }
+        assert!(nones > 0 && somes > 0);
+    }
+
     proptest! {
         /// The macro surface itself: mixed `in` and `: Type` params.
         #[test]
@@ -497,6 +556,12 @@ mod tests {
             prop_assert!(xs.iter().all(|&x| (1..5).contains(&x)));
             prop_assert_eq!(k.min(3), k, "k was {}", k);
             prop_assert_ne!(flip as u32, 2);
+        }
+
+        /// Tuple strategies sample each component independently.
+        #[test]
+        fn tuple_strategies_sample_componentwise(pairs in prop::collection::vec((0u64..4, 10u64..20), 0..8)) {
+            prop_assert!(pairs.iter().all(|&(a, b)| a < 4 && (10..20).contains(&b)));
         }
     }
 }
