@@ -967,6 +967,46 @@ pub fn bench_metrics(scale: Scale) -> String {
         bitplane_rate,
         bitplane_rate / packed_rate.max(1e-9),
     ));
+
+    // Training-kernel drill-down: the allocation-free BPTT hot path
+    // (SIMD matmul tiers + persistent worker pool) on a scaled-down
+    // network, measured exactly as `Trainer::fit` drives it.
+    let tcfg = scale.config();
+    let tmlp = sushi_snn::SnnMlp::new(&tcfg.layer_sizes(), tcfg.seed)
+        .with_binary_weights(tcfg.binary_weights)
+        .with_stateless(tcfg.stateless);
+    let enc = sushi_snn::PoissonEncoder::new(tcfg.seed);
+    let tdata = synth_digits(tcfg.batch, 12);
+    let samples: Vec<&[f32]> = tdata.images.iter().map(Vec::as_slice).collect();
+    let ids: Vec<u64> = (0..samples.len() as u64).collect();
+    let frames = enc.encode_batch(&samples, tcfg.time_steps, &ids);
+    let mut targets = sushi_snn::Matrix::zeros(samples.len(), tcfg.classes);
+    for (r, &label) in tdata.labels.iter().enumerate() {
+        targets[(r, label as usize)] = 1.0;
+    }
+    let mut ws = sushi_snn::TrainScratch::new();
+    let treps = 20;
+    let t = Instant::now();
+    for _ in 0..treps {
+        tmlp.forward_record_with(&frames, &mut ws);
+    }
+    let fwd_rate = (treps * samples.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    let t = Instant::now();
+    for _ in 0..treps {
+        tmlp.backward_with(&frames, &targets, &mut ws);
+    }
+    let bwd_rate = (treps * samples.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "\n## Bench: training kernels (SIMD + pooled BPTT)\n\
+         batch {} x{} reps | forward {:.0} samples/s | backward {:.0} samples/s | \
+         simd tier: {} | pool workers: {}\n",
+        samples.len(),
+        treps,
+        fwd_rate,
+        bwd_rate,
+        sushi_snn::tensor::simd_tier(),
+        sushi_snn::WorkerPool::shared().workers(),
+    ));
     out
 }
 

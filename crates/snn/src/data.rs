@@ -81,13 +81,24 @@ impl Dataset {
         (train, test)
     }
 
-    /// A deterministic shuffled copy.
-    pub fn shuffled(&self, seed: u64) -> Dataset {
+    /// A deterministic shuffled sample order: visiting
+    /// `self.images[order[k]]` for `k` ascending is the same stream a
+    /// [`Dataset::shuffled`] copy yields — without cloning any image. An
+    /// epoch shuffle is O(n) indices, not O(n·width) floats; the training
+    /// loop iterates these.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         for i in (1..idx.len()).rev() {
             idx.swap(i, rng.gen_range(0..=i));
         }
+        idx
+    }
+
+    /// A deterministic shuffled copy (see [`Dataset::shuffled_indices`]
+    /// for the allocation-free form).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let idx = self.shuffled_indices(seed);
         Dataset {
             name: self.name.clone(),
             images: idx.iter().map(|&i| self.images[i].clone()).collect(),
@@ -361,6 +372,23 @@ mod tests {
             assert_eq!(d.labels[orig], lab);
         }
         assert_ne!(s.labels, d.labels, "shuffle changed nothing");
+    }
+
+    #[test]
+    fn shuffled_matches_index_view() {
+        // `shuffled_indices` must describe exactly the stream a shuffled
+        // copy yields — the training loop relies on this to skip the
+        // per-epoch image clones.
+        let d = synth_digits(40, 4);
+        let s = d.shuffled(5);
+        let order = d.shuffled_indices(5);
+        assert_eq!(order.len(), d.len());
+        let mut seen = vec![false; d.len()];
+        for (k, &i) in order.iter().enumerate() {
+            assert!(!std::mem::replace(&mut seen[i], true), "index {i} repeated");
+            assert_eq!(s.images[k], d.images[i]);
+            assert_eq!(s.labels[k], d.labels[i]);
+        }
     }
 
     #[test]

@@ -66,17 +66,44 @@ impl PoissonEncoder {
         time_steps: usize,
         sample_ids: &[u64],
     ) -> Vec<Matrix> {
+        let mut frames = Vec::new();
+        self.encode_batch_into(samples, time_steps, sample_ids, &mut frames);
+        frames
+    }
+
+    /// As [`PoissonEncoder::encode_batch`], writing into caller-owned
+    /// frame buffers (reshaped in place, reusing their allocations) — the
+    /// allocation-free form the training loop uses. Spike rows are drawn
+    /// directly into the batch frames with exactly the RNG stream of
+    /// [`PoissonEncoder::encode`] (per sample: time-major, pixel-minor),
+    /// so row `i` still matches an individual encode with `sample_ids[i]`.
+    ///
+    /// # Panics
+    ///
+    /// As [`PoissonEncoder::encode_batch`].
+    pub fn encode_batch_into(
+        &self,
+        samples: &[&[f32]],
+        time_steps: usize,
+        sample_ids: &[u64],
+        frames: &mut Vec<Matrix>,
+    ) {
         assert_eq!(samples.len(), sample_ids.len(), "one id per sample");
         assert!(!samples.is_empty(), "empty batch");
         let width = samples[0].len();
-        let mut frames = vec![Matrix::zeros(samples.len(), width); time_steps];
+        frames.resize_with(time_steps, Matrix::default);
+        for f in frames.iter_mut() {
+            f.reset_to(samples.len(), width);
+        }
         for (row, (sample, &id)) in samples.iter().zip(sample_ids).enumerate() {
             assert_eq!(sample.len(), width, "ragged batch");
-            for (t, frame) in self.encode(sample, time_steps, id).into_iter().enumerate() {
-                frames[t].row_mut(row).copy_from_slice(frame.row(0));
+            let mut rng = StdRng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for frame in frames.iter_mut() {
+                for (o, &p) in frame.row_mut(row).iter_mut().zip(sample.iter()) {
+                    *o = f32::from(rng.gen::<f32>() < p.clamp(0.0, 1.0));
+                }
             }
         }
-        frames
     }
 }
 
@@ -127,6 +154,18 @@ mod tests {
             assert_eq!(frames[t].row(0), ind0[t].row(0));
             assert_eq!(frames[t].row(1), ind1[t].row(0));
         }
+    }
+
+    #[test]
+    fn encode_batch_into_reuses_buffers_and_matches() {
+        let enc = PoissonEncoder::new(5);
+        let s0 = [0.2, 0.8, 0.5];
+        let s1 = [0.9, 0.1, 0.4];
+        let fresh = enc.encode_batch(&[&s0, &s1], 4, &[10, 20]);
+        // Stale, differently-shaped buffers must be reshaped in place.
+        let mut reused = vec![Matrix::zeros(7, 9); 6];
+        enc.encode_batch_into(&[&s0, &s1], 4, &[10, 20], &mut reused);
+        assert_eq!(reused, fresh);
     }
 
     #[test]

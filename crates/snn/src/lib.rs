@@ -6,10 +6,14 @@
 //! optimizer at lr 1e-3. This crate implements exactly those pieces, from
 //! scratch:
 //!
-//! * [`tensor`] — a dense `f32` matrix with (optionally parallel) matmul;
+//! * [`tensor`] — a dense `f32` matrix with runtime-dispatched SIMD
+//!   matmul kernels (bitwise identical across tiers);
+//! * [`pool`] — the persistent worker pool the kernels parallelize on,
+//!   with shape-derived chunk plans (bitwise identical for any size);
 //! * [`neuron`] — the discrete IF neuron (Eqs. 1–3) with surrogate
 //!   gradients for training;
-//! * [`network`] — the spiking MLP with BPTT forward/backward;
+//! * [`network`] — the spiking MLP with BPTT forward/backward and the
+//!   allocation-free [`network::TrainScratch`] hot path;
 //! * [`encoding`] — the Poisson encoder;
 //! * [`optim`] — Adam and SGD;
 //! * [`data`] — deterministic synthetic stand-ins for MNIST
@@ -39,6 +43,7 @@ pub mod metrics;
 pub mod network;
 pub mod neuron;
 pub mod optim;
+pub mod pool;
 pub mod tensor;
 pub mod train;
 
@@ -46,8 +51,9 @@ pub use conv::{AvgPool2d, Conv2d};
 pub use data::Dataset;
 pub use encoding::PoissonEncoder;
 pub use metrics::{accuracy, consistency, Evaluation};
-pub use network::SnnMlp;
+pub use network::{SnnMlp, TrainScratch};
 pub use neuron::{IfNeuron, LifNeuron};
 pub use optim::Adam;
+pub use pool::WorkerPool;
 pub use tensor::Matrix;
 pub use train::{TrainConfig, TrainedSnn, Trainer};

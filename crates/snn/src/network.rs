@@ -6,8 +6,19 @@
 //! instance. The loss is the mean-squared error between the output firing
 //! rate over `T` time steps and the one-hot target — the classic
 //! SpikingJelly recipe.
+//!
+//! # Hot path
+//!
+//! Training runs through [`SnnMlp::forward_record_with`] and
+//! [`SnnMlp::backward_with`], which thread a reusable [`TrainScratch`]
+//! through the whole pass: every intermediate matrix (membranes,
+//! activations, spike records, gradient carriers) lives in the scratch and
+//! is reshaped in place, so steady-state training does no per-batch heap
+//! allocation. The convenience wrappers [`SnnMlp::forward_record`] and
+//! [`SnnMlp::backward`] allocate a fresh scratch per call.
 
 use crate::neuron::IfNeuron;
+use crate::pool::WorkerPool;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,41 +52,138 @@ pub struct SnnMlp {
 /// XNOR-Net effective weights: per output column `j`,
 /// `alpha_j * sign(w_ij)` with `alpha_j = mean_i |w_ij|`.
 pub fn xnor_effective(w: &Matrix) -> Matrix {
-    let (rows, cols) = (w.rows(), w.cols());
-    let mut alphas = vec![0.0f32; cols];
-    for i in 0..rows {
-        for (j, a) in alphas.iter_mut().enumerate() {
-            *a += w[(i, j)].abs();
-        }
-    }
-    for a in &mut alphas {
-        *a /= rows as f32;
-    }
-    let mut out = Matrix::zeros(rows, cols);
-    for i in 0..rows {
-        for j in 0..cols {
-            out[(i, j)] = if w[(i, j)] >= 0.0 {
-                alphas[j]
-            } else {
-                -alphas[j]
-            };
-        }
-    }
+    let mut out = Matrix::default();
+    xnor_effective_into(w, &mut out, &mut Vec::new());
     out
 }
 
+/// [`xnor_effective`] into a caller-owned buffer; `alphas` is per-column
+/// scaling scratch, both reused across calls.
+fn xnor_effective_into(w: &Matrix, out: &mut Matrix, alphas: &mut Vec<f32>) {
+    let (rows, cols) = (w.rows(), w.cols());
+    alphas.clear();
+    alphas.resize(cols, 0.0);
+    for i in 0..rows {
+        for (a, &wv) in alphas.iter_mut().zip(w.row(i)) {
+            *a += wv.abs();
+        }
+    }
+    for a in alphas.iter_mut() {
+        *a /= rows as f32;
+    }
+    out.reset_to(rows, cols);
+    for i in 0..rows {
+        for ((o, &wv), &a) in out.row_mut(i).iter_mut().zip(w.row(i)).zip(alphas.iter()) {
+            *o = if wv >= 0.0 { a } else { -a };
+        }
+    }
+}
+
 /// Caches recorded by a forward pass, consumed by the backward pass.
-#[derive(Debug, Clone)]
+///
+/// Layer inputs are not stored: layer 0 reads the encoded frames (passed
+/// to the backward pass directly) and layer `l > 0` reads
+/// `spikes[l - 1][t]`.
+#[derive(Debug, Clone, Default)]
 pub struct ForwardRecord {
-    /// `inputs[l][t]`: spikes entering layer `l` at time `t` (layer 0's
-    /// input is the encoded frame).
-    pub inputs: Vec<Vec<Matrix>>,
     /// `pre_acts[l][t]`: pre-reset potentials `H[t]` of layer `l`.
     pub pre_acts: Vec<Vec<Matrix>>,
     /// `spikes[l][t]`: output spikes of layer `l` at time `t`.
     pub spikes: Vec<Vec<Matrix>>,
     /// Mean output firing rate over time (`batch x classes`).
     pub rates: Matrix,
+}
+
+/// Which pool a [`TrainScratch`] dispatches its kernels on.
+#[derive(Debug)]
+enum PoolChoice {
+    /// The process-wide host-sized pool.
+    Shared,
+    /// A dedicated fixed-size pool ([`TrainScratch::with_workers`]).
+    Owned(WorkerPool),
+}
+
+/// Reusable buffers for the BPTT hot path.
+///
+/// One scratch lives across a whole training loop; every forward/backward
+/// pass reuses its matrices (reshaped in place via `Matrix::reset_to`), so
+/// steady-state training does no per-batch heap allocation. A scratch is
+/// tied to nothing: the first pass shapes it, and it reshapes itself
+/// whenever the network, batch size, or time-step count changes.
+#[derive(Debug)]
+pub struct TrainScratch {
+    pool: PoolChoice,
+    /// The record of the last forward pass.
+    record: ForwardRecord,
+    /// Per-layer membrane potentials (forward).
+    membranes: Vec<Matrix>,
+    /// Per-layer pre-synaptic matmul buffers (forward).
+    acts: Vec<Matrix>,
+    /// Effective weights of the last forward pass; the backward pass
+    /// reuses them (straight-through estimator in binary mode).
+    effective: Vec<Matrix>,
+    /// Per-column XNOR scaling scratch.
+    alphas: Vec<f32>,
+    /// Transposed effective weights (backward propagation).
+    wt: Vec<Matrix>,
+    /// Top-layer `dL/dS` (identical at every time step).
+    g_top: Matrix,
+    /// `g_spikes[l][t]`: `dL/dS` for layers below the top.
+    g_spikes: Vec<Vec<Matrix>>,
+    /// Current-step `dL/dH` / next-step `dL/dV` swap buffers.
+    g_h: Matrix,
+    g_v: Matrix,
+    /// Per-layer weight gradients of the last backward pass.
+    grads: Vec<Matrix>,
+}
+
+impl TrainScratch {
+    /// A scratch dispatching its kernels on the process-wide
+    /// [`WorkerPool::shared`] pool.
+    pub fn new() -> Self {
+        Self::with_pool(PoolChoice::Shared)
+    }
+
+    /// A scratch with a dedicated pool of `workers` workers. Results are
+    /// bitwise identical for any worker count (see [`crate::pool`]); this
+    /// exists for explicit sizing and the worker-invariance tests.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::with_pool(PoolChoice::Owned(WorkerPool::new(workers)))
+    }
+
+    fn with_pool(pool: PoolChoice) -> Self {
+        Self {
+            pool,
+            record: ForwardRecord::default(),
+            membranes: Vec::new(),
+            acts: Vec::new(),
+            effective: Vec::new(),
+            alphas: Vec::new(),
+            wt: Vec::new(),
+            g_top: Matrix::default(),
+            g_spikes: Vec::new(),
+            g_h: Matrix::default(),
+            g_v: Matrix::default(),
+            grads: Vec::new(),
+        }
+    }
+
+    /// The record of the last [`SnnMlp::forward_record_with`] pass.
+    pub fn record(&self) -> &ForwardRecord {
+        &self.record
+    }
+
+    /// Per-layer weight gradients of the last [`SnnMlp::backward_with`]
+    /// pass.
+    pub fn grads(&self) -> &[Matrix] {
+        &self.grads
+    }
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SnnMlp {
@@ -136,10 +244,20 @@ impl SnnMlp {
     /// The weights the forward pass actually multiplies by: the latent
     /// floats, or their XNOR-binarized form in binary mode.
     pub fn effective_weights(&self) -> Vec<Matrix> {
-        if self.binary {
-            self.weights.iter().map(xnor_effective).collect()
-        } else {
-            self.weights.clone()
+        let mut out = Vec::new();
+        self.effective_into(&mut out, &mut Vec::new());
+        out
+    }
+
+    /// [`SnnMlp::effective_weights`] into reusable buffers.
+    fn effective_into(&self, effective: &mut Vec<Matrix>, alphas: &mut Vec<f32>) {
+        effective.resize_with(self.weights.len(), Matrix::default);
+        for (w, e) in self.weights.iter().zip(effective.iter_mut()) {
+            if self.binary {
+                xnor_effective_into(w, e, alphas);
+            } else {
+                e.clone_from(w);
+            }
         }
     }
 
@@ -196,10 +314,28 @@ impl SnnMlp {
 
     /// As [`SnnMlp::forward`], recording everything BPTT needs.
     ///
+    /// Convenience wrapper over [`SnnMlp::forward_record_with`] with a
+    /// one-shot scratch; training loops should hold a [`TrainScratch`]
+    /// instead.
+    ///
     /// # Panics
     ///
     /// As [`SnnMlp::forward`].
     pub fn forward_record(&self, frames: &[Matrix]) -> ForwardRecord {
+        let mut ws = TrainScratch::new();
+        self.forward_record_with(frames, &mut ws);
+        ws.record
+    }
+
+    /// Runs the recorded forward pass entirely inside `ws`, leaving the
+    /// [`ForwardRecord`] in [`TrainScratch::record`]. Reshapes the scratch
+    /// as needed; in steady state (same network/batch/`T`) this performs
+    /// no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// As [`SnnMlp::forward`].
+    pub fn forward_record_with(&self, frames: &[Matrix], ws: &mut TrainScratch) {
         assert!(!frames.is_empty(), "need at least one time step");
         let batch = frames[0].rows();
         assert_eq!(
@@ -209,135 +345,200 @@ impl SnnMlp {
         );
         let num_layers = self.weights.len();
         let t_steps = frames.len();
-        let mut inputs: Vec<Vec<Matrix>> = vec![Vec::with_capacity(t_steps); num_layers];
-        let mut pre_acts: Vec<Vec<Matrix>> = vec![Vec::with_capacity(t_steps); num_layers];
-        let mut spikes: Vec<Vec<Matrix>> = vec![Vec::with_capacity(t_steps); num_layers];
-        let mut membranes: Vec<Matrix> = self
-            .weights
-            .iter()
-            .map(|w| Matrix::zeros(batch, w.cols()))
-            .collect();
+        let pool = match &ws.pool {
+            PoolChoice::Shared => WorkerPool::shared(),
+            PoolChoice::Owned(p) => p,
+        };
+
+        ws.record.pre_acts.resize_with(num_layers, Vec::new);
+        ws.record.spikes.resize_with(num_layers, Vec::new);
+        ws.membranes.resize_with(num_layers, Matrix::default);
+        ws.acts.resize_with(num_layers, Matrix::default);
+        for (l, w) in self.weights.iter().enumerate() {
+            ws.record.pre_acts[l].resize_with(t_steps, Matrix::default);
+            ws.record.spikes[l].resize_with(t_steps, Matrix::default);
+            ws.membranes[l].reset_to(batch, w.cols());
+        }
+        self.effective_into(&mut ws.effective, &mut ws.alphas);
+
         let classes = self.weights[num_layers - 1].cols();
-        let mut rates = Matrix::zeros(batch, classes);
-        let effective = self.effective_weights();
-        for frame in frames {
-            let mut x = frame.clone();
-            for (l, w) in effective.iter().enumerate() {
-                let a = x.matmul(w);
-                let (s, h) = self.neuron.step_recorded(&mut membranes[l], &a);
-                inputs[l].push(x);
-                pre_acts[l].push(h);
-                x = s.clone();
-                spikes[l].push(s);
+        ws.record.rates.reset_to(batch, classes);
+        for (t, frame) in frames.iter().enumerate() {
+            for l in 0..num_layers {
+                let (below, at) = ws.record.spikes.split_at_mut(l);
+                let input: &Matrix = if l == 0 { frame } else { &below[l - 1][t] };
+                input.matmul_into(&ws.effective[l], &mut ws.acts[l], pool);
+                self.neuron.step_recorded_into(
+                    &mut ws.membranes[l],
+                    &ws.acts[l],
+                    &mut at[0][t],
+                    &mut ws.record.pre_acts[l][t],
+                );
             }
-            rates.add_assign(&x);
+            ws.record
+                .rates
+                .add_assign(&ws.record.spikes[num_layers - 1][t]);
             if self.stateless {
-                for m in &mut membranes {
+                for m in &mut ws.membranes {
                     for v in m.as_mut_slice() {
                         *v = 0.0;
                     }
                 }
             }
         }
-        rates.scale(1.0 / t_steps as f32);
-        ForwardRecord {
-            inputs,
-            pre_acts,
-            spikes,
-            rates,
-        }
+        ws.record.rates.scale(1.0 / t_steps as f32);
     }
 
     /// Computes the MSE loss against one-hot `targets` and the weight
-    /// gradients by BPTT with the rectangular surrogate and detached reset.
+    /// gradients by BPTT with the rectangular surrogate and detached
+    /// reset. `frames` are the encoded inputs the forward pass consumed
+    /// (layer 0's inputs, which the record does not duplicate).
     ///
     /// Returns `(loss, per-layer gradients)`.
     ///
+    /// Convenience wrapper over [`SnnMlp::backward_with`] with a one-shot
+    /// scratch; training loops should hold a [`TrainScratch`] instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `targets` shape mismatches the output rates.
-    pub fn backward(&self, record: &ForwardRecord, targets: &Matrix) -> (f32, Vec<Matrix>) {
+    /// Panics if `targets` shape mismatches the output rates or `frames`
+    /// disagrees with the record.
+    pub fn backward(
+        &self,
+        frames: &[Matrix],
+        record: &ForwardRecord,
+        targets: &Matrix,
+    ) -> (f32, Vec<Matrix>) {
+        let mut ws = TrainScratch::new();
+        ws.record = record.clone();
+        self.effective_into(&mut ws.effective, &mut ws.alphas);
+        let loss = self.backward_with(frames, targets, &mut ws);
+        (loss, std::mem::take(&mut ws.grads))
+    }
+
+    /// The BPTT backward pass over the record left in `ws` by
+    /// [`SnnMlp::forward_record_with`] (which must have run on the same
+    /// network with the same `frames`). Returns the loss; the per-layer
+    /// gradients land in [`TrainScratch::grads`]. In steady state this
+    /// performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` does not hold a matching forward record or `targets`
+    /// shape mismatches the output rates.
+    pub fn backward_with(&self, frames: &[Matrix], targets: &Matrix, ws: &mut TrainScratch) -> f32 {
+        let pool = match &ws.pool {
+            PoolChoice::Shared => WorkerPool::shared(),
+            PoolChoice::Owned(p) => p,
+        };
+        let record = &ws.record;
         let rates = &record.rates;
         assert_eq!(
             (rates.rows(), rates.cols()),
             (targets.rows(), targets.cols()),
             "target shape mismatch"
         );
+        let num_layers = self.weights.len();
+        assert_eq!(
+            record.spikes.len(),
+            num_layers,
+            "scratch holds no forward record for this network"
+        );
+        let steps = record.spikes[0].len();
+        assert_eq!(
+            frames.len(),
+            steps,
+            "frame count differs from the recorded forward pass"
+        );
         let batch = rates.rows() as f32;
         let classes = rates.cols() as f32;
-        let t_steps = record.spikes[0].len() as f32;
-        let num_layers = self.weights.len();
+        let t_steps = steps as f32;
 
-        // Loss and d(loss)/d(rate).
-        let mut diff = rates.clone();
-        for (d, t) in diff.as_mut_slice().iter_mut().zip(targets.as_slice()) {
-            *d -= t;
+        // Loss and the top-layer dL/dS, which is the same at every time
+        // step: d(rate)/d(S[t]) = 1/T, so gS = (2/(batch*classes)) * diff
+        // * (1/T).
+        ws.g_top.reset_to(rates.rows(), rates.cols());
+        let g_scale = 2.0 / (batch * classes);
+        let mut loss = 0.0f32;
+        for ((g, &r), &tv) in ws
+            .g_top
+            .as_mut_slice()
+            .iter_mut()
+            .zip(rates.as_slice())
+            .zip(targets.as_slice())
+        {
+            let d = r - tv;
+            loss += d * d;
+            *g = (d * g_scale) * (1.0 / t_steps);
         }
-        let loss = diff.hadamard(&diff).sum() / (batch * classes);
-        let mut g_rate = diff;
-        g_rate.scale(2.0 / (batch * classes));
+        let loss = loss / (batch * classes);
 
-        // dL/dS for the top layer at every time step.
-        let mut g_spikes: Vec<Vec<Matrix>> = vec![Vec::new(); num_layers];
-        g_spikes[num_layers - 1] = (0..record.spikes[0].len())
-            .map(|_| {
-                let mut g = g_rate.clone();
-                g.scale(1.0 / t_steps);
-                g
-            })
-            .collect();
-
-        let mut grads: Vec<Matrix> = self
-            .weights
-            .iter()
-            .map(|w| Matrix::zeros(w.rows(), w.cols()))
-            .collect();
-        // Backprop flows through the weights the forward pass used; in
-        // binary mode the gradient reaches the latent floats via the
-        // straight-through estimator (d effective / d latent ~= 1).
-        let effective = self.effective_weights();
+        ws.g_spikes
+            .resize_with(num_layers.saturating_sub(1), Vec::new);
+        for gs in ws.g_spikes.iter_mut() {
+            gs.resize_with(steps, Matrix::default);
+        }
+        ws.grads.resize_with(num_layers, Matrix::default);
+        for (g, w) in ws.grads.iter_mut().zip(&self.weights) {
+            g.reset_to(w.rows(), w.cols());
+        }
+        // Backprop flows through the weights the forward pass used (left
+        // in the scratch by `forward_record_with`); in binary mode the
+        // gradient reaches the latent floats via the straight-through
+        // estimator (d effective / d latent ~= 1).
+        ws.wt.resize_with(num_layers, Matrix::default);
+        for l in 1..num_layers {
+            ws.effective[l].transpose_into(&mut ws.wt[l]);
+        }
 
         for l in (0..num_layers).rev() {
-            let steps = record.spikes[l].len();
-            let mut g_prev: Vec<Matrix> = Vec::new();
-            if l > 0 {
-                g_prev = (0..steps)
-                    .map(|t| {
-                        Matrix::zeros(
-                            record.spikes[l - 1][t].rows(),
-                            record.spikes[l - 1][t].cols(),
-                        )
-                    })
-                    .collect();
-            }
-            let mut g_v: Option<Matrix> = None;
+            let width = self.weights[l].cols();
+            ws.g_h.reset_to(rates.rows(), width);
+            ws.g_v.reset_to(rates.rows(), width);
+            let mut have_gv = false;
             for t in (0..steps).rev() {
-                // gH = gS * sigma'(H) + gV_next * (1 - S).
-                let h = &record.pre_acts[l][t];
-                let s = &record.spikes[l][t];
-                let sur = h.map(|x| self.neuron.surrogate_grad(x));
-                let mut g_h = g_spikes[l][t].hadamard(&sur);
-                // Temporal coupling exists only when residuals carry over;
-                // the stateless neuron severs it.
-                if !self.stateless {
-                    if let Some(gv) = &g_v {
-                        let keep = s.map(|x| 1.0 - x);
-                        g_h.add_assign(&gv.hadamard(&keep));
+                // gH = gS * sigma'(H) + gV_next * (1 - S), fused into one
+                // sweep (same multiply/add order as the matrix-op form).
+                {
+                    let h = ws.record.pre_acts[l][t].as_slice();
+                    let s = ws.record.spikes[l][t].as_slice();
+                    let g_s = if l == num_layers - 1 {
+                        ws.g_top.as_slice()
+                    } else {
+                        ws.g_spikes[l][t].as_slice()
+                    };
+                    let gh = ws.g_h.as_mut_slice();
+                    // Temporal coupling exists only when residuals carry
+                    // over; the stateless neuron severs it.
+                    if !self.stateless && have_gv {
+                        let gv = ws.g_v.as_slice();
+                        for i in 0..gh.len() {
+                            gh[i] =
+                                g_s[i] * self.neuron.surrogate_grad(h[i]) + gv[i] * (1.0 - s[i]);
+                        }
+                    } else {
+                        for i in 0..gh.len() {
+                            gh[i] = g_s[i] * self.neuron.surrogate_grad(h[i]);
+                        }
                     }
                 }
-                // gW += input^T @ gH.
-                grads[l].add_assign(&record.inputs[l][t].transpose_matmul(&g_h));
+                // gW += input^T @ gH, accumulated in place across time.
+                let input: &Matrix = if l == 0 {
+                    &frames[t]
+                } else {
+                    &ws.record.spikes[l - 1][t]
+                };
+                input.transpose_matmul_acc_into(&ws.g_h, &mut ws.grads[l], pool);
                 // gInput = gH @ W^T propagates to the layer below.
                 if l > 0 {
-                    g_prev[t].add_assign(&g_h.matmul_transpose(&effective[l]));
+                    ws.g_h
+                        .matmul_into(&ws.wt[l], &mut ws.g_spikes[l - 1][t], pool);
                 }
-                g_v = Some(g_h);
-            }
-            if l > 0 {
-                g_spikes[l - 1] = g_prev;
+                std::mem::swap(&mut ws.g_h, &mut ws.g_v);
+                have_gv = true;
             }
         }
-        (loss, grads)
+        loss
     }
 
     /// Predicted class per batch row (argmax of firing rates).
@@ -399,7 +600,7 @@ mod tests {
         let frames = constant_frames(5, 2, 6, 1.0);
         let rec = net.forward_record(&frames);
         let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
-        let (loss, grads) = net.backward(&rec, &targets);
+        let (loss, grads) = net.backward(&frames, &rec, &targets);
         assert!(loss.is_finite() && loss >= 0.0);
         assert_eq!(grads.len(), 2);
         assert_eq!((grads[0].rows(), grads[0].cols()), (6, 9));
@@ -407,6 +608,32 @@ mod tests {
         assert!(grads
             .iter()
             .all(|g| g.as_slice().iter().all(|v| v.is_finite())));
+    }
+
+    /// The scratch-threaded hot path must produce exactly the bits of the
+    /// convenience wrappers, across float/stateful and binary/stateless
+    /// modes and across repeated reuse of one scratch.
+    #[test]
+    fn scratch_paths_match_one_shot_paths() {
+        for (binary, stateless) in [(false, false), (true, true)] {
+            let net = SnnMlp::new(&[6, 9, 3], 5)
+                .with_binary_weights(binary)
+                .with_stateless(stateless);
+            let targets = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+            let mut ws = TrainScratch::new();
+            for round in 0..3 {
+                let frames = constant_frames(5, 2, 6, 0.4 + 0.2 * round as f32);
+                let rec = net.forward_record(&frames);
+                let (loss, grads) = net.backward(&frames, &rec, &targets);
+                net.forward_record_with(&frames, &mut ws);
+                assert_eq!(ws.record().rates, rec.rates, "round {round}");
+                assert_eq!(ws.record().spikes, rec.spikes, "round {round}");
+                assert_eq!(ws.record().pre_acts, rec.pre_acts, "round {round}");
+                let loss_ws = net.backward_with(&frames, &targets, &mut ws);
+                assert_eq!(loss_ws, loss, "round {round} binary={binary}");
+                assert_eq!(ws.grads(), &grads[..], "round {round} binary={binary}");
+            }
+        }
     }
 
     /// Finite-difference check of the output-layer gradient through the
@@ -418,11 +645,11 @@ mod tests {
         let frames = constant_frames(5, 3, 4, 1.0);
         let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]);
         let rec = net.forward_record(&frames);
-        let (_, grads) = net.backward(&rec, &targets);
+        let (_, grads) = net.backward(&frames, &rec, &targets);
         // Take a few steps along -grad; the loss must not increase much.
         let loss_before = {
             let rec = net.forward_record(&frames);
-            net.backward(&rec, &targets).0
+            net.backward(&frames, &rec, &targets).0
         };
         for (w, g) in net.weights_mut().iter_mut().zip(&grads) {
             let mut step = g.clone();
@@ -431,7 +658,7 @@ mod tests {
         }
         let loss_after = {
             let rec = net.forward_record(&frames);
-            net.backward(&rec, &targets).0
+            net.backward(&frames, &rec, &targets).0
         };
         assert!(
             loss_after <= loss_before + 1e-4,

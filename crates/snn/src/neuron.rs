@@ -90,10 +90,51 @@ impl IfNeuron {
     /// As [`IfNeuron::step`], but also returns the pre-reset potential
     /// `H[t]` needed for BPTT.
     pub fn step_recorded(&self, v: &mut Matrix, input: &Matrix) -> (Matrix, Matrix) {
-        let mut h = v.clone();
-        h.add_assign(input);
-        let spikes = self.step(v, input);
-        (spikes, h)
+        let mut spikes = Matrix::default();
+        let mut pre = Matrix::default();
+        self.step_recorded_into(v, input, &mut spikes, &mut pre);
+        (spikes, pre)
+    }
+
+    /// As [`IfNeuron::step_recorded`], but fused into one sweep writing
+    /// spikes and pre-reset potentials into caller-owned buffers (reshaped
+    /// in place, reusing their allocations) — the form the training
+    /// scratch uses to keep the hot path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` and `input` shapes differ.
+    pub fn step_recorded_into(
+        &self,
+        v: &mut Matrix,
+        input: &Matrix,
+        spikes: &mut Matrix,
+        pre: &mut Matrix,
+    ) {
+        assert_eq!(
+            (v.rows(), v.cols()),
+            (input.rows(), input.cols()),
+            "membrane/input shape mismatch"
+        );
+        spikes.reset_to(v.rows(), v.cols());
+        pre.reset_to(v.rows(), v.cols());
+        let sp = spikes.as_mut_slice();
+        let pr = pre.as_mut_slice();
+        for (i, (vv, &x)) in v
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .enumerate()
+        {
+            let h = *vv + x;
+            pr[i] = h;
+            if h >= self.threshold {
+                sp[i] = 1.0;
+                *vv = self.reset;
+            } else {
+                *vv = h;
+            }
+        }
     }
 
     /// The rectangular surrogate derivative `dS/dH` at pre-activation `h`:
@@ -245,6 +286,21 @@ mod tests {
         assert!((h.as_slice()[0] - 1.4).abs() < 1e-6);
         assert_eq!(s.as_slice(), &[1.0]);
         assert_eq!(v.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn step_recorded_into_matches_step_recorded() {
+        let layer = IfNeuron::new(1.0, 0.25);
+        let drive = Matrix::from_rows(&[&[0.6, 1.2, -0.3], &[0.9, 0.2, 0.5]]);
+        let mut v_a = Matrix::from_vec(2, 3, vec![0.5, 0.0, 0.1, 0.3, 0.9, 0.6]);
+        let mut v_b = v_a.clone();
+        let (s_a, h_a) = layer.step_recorded(&mut v_a, &drive);
+        let mut s_b = Matrix::zeros(1, 1);
+        let mut h_b = Matrix::zeros(1, 1);
+        layer.step_recorded_into(&mut v_b, &drive, &mut s_b, &mut h_b);
+        assert_eq!(s_a, s_b);
+        assert_eq!(h_a, h_b);
+        assert_eq!(v_a, v_b);
     }
 
     #[test]

@@ -57,6 +57,23 @@ impl Adam {
     ///
     /// Panics if the parameter/gradient structure changes between calls.
     pub fn step(&mut self, weights: &mut [Matrix], grads: &[Matrix]) {
+        self.step_clamped(weights, grads, None);
+    }
+
+    /// As [`Adam::step`], but when `clamp` is `Some((lo, hi))` every
+    /// updated weight is clamped into `[lo, hi]` in the same sweep — the
+    /// fused form of the XNOR-Net latent-weight clip, which used to cost a
+    /// second full pass over the weights per batch.
+    ///
+    /// # Panics
+    ///
+    /// As [`Adam::step`].
+    pub fn step_clamped(
+        &mut self,
+        weights: &mut [Matrix],
+        grads: &[Matrix],
+        clamp: Option<(f32, f32)>,
+    ) {
         assert_eq!(weights.len(), grads.len(), "weights/grads mismatch");
         if self.m.is_empty() {
             self.m = weights
@@ -90,6 +107,9 @@ impl Adam {
                 let m_hat = *mv / b1t;
                 let v_hat = *vv / b2t;
                 *wv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                if let Some((lo, hi)) = clamp {
+                    *wv = wv.clamp(lo, hi);
+                }
             }
         }
     }
@@ -165,6 +185,31 @@ mod tests {
         opt.step(&mut w, &[Matrix::from_rows(&[&[42.0]])]);
         // Bias-corrected first step magnitude ~= lr regardless of grad scale.
         assert!((w[0].as_slice()[0].abs() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_clamped_matches_step_then_clip() {
+        // The fused clamp must produce exactly the bits of the old
+        // separate step-then-clip passes.
+        let g = vec![Matrix::from_rows(&[&[7.0, -3.0], &[0.4, -0.1]])];
+        let mut w_fused = vec![Matrix::from_rows(&[&[0.999, -0.999], &[0.2, -0.2]])];
+        let mut w_split = w_fused.clone();
+        let mut opt_fused = Adam::new(0.05);
+        let mut opt_split = Adam::new(0.05);
+        for _ in 0..25 {
+            opt_fused.step_clamped(&mut w_fused, &g, Some((-1.0, 1.0)));
+            opt_split.step(&mut w_split, &g);
+            for w in &mut w_split {
+                for v in w.as_mut_slice() {
+                    *v = v.clamp(-1.0, 1.0);
+                }
+            }
+        }
+        assert_eq!(w_fused, w_split);
+        assert!(w_fused[0]
+            .as_slice()
+            .iter()
+            .all(|v| (-1.0..=1.0).contains(v)));
     }
 
     #[test]

@@ -1,13 +1,35 @@
 //! A dense row-major `f32` matrix with the handful of operations the SNN
-//! framework needs. Large matmuls are parallelised with crossbeam scoped
-//! threads.
+//! framework needs.
+//!
+//! # Kernel tiers and determinism
+//!
+//! Every matmul reduces to an axpy inner loop (`out[j] += a * b[j]`), which
+//! preserves per-element accumulation order: element `out[i][j]` is always
+//! the sum over `k` ascending, one rounding per multiply and one per add.
+//! The kernels are compiled twice from one `#[inline(always)]` body — a
+//! baseline tier and an AVX2 `#[target_feature]` tier picked at runtime
+//! (the same ladder as `sushi_ssnn::packed`). Rust never contracts
+//! mul+add into FMA, so the SIMD tier is bitwise identical to the scalar
+//! kernel; `simd_matmul_matches_scalar_bitwise` in `tests/properties.rs`
+//! pins that.
+//!
+//! Large kernels are split across a persistent [`WorkerPool`] using
+//! [`chunk_plan`] ranges whose boundaries depend only on the shape, never
+//! the worker count — so results are also bitwise identical for any pool
+//! size.
 
+use crate::pool::{chunk_plan, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Minimum FLOP count before a matmul is split across threads.
+/// Minimum FLOP count before a matmul is split across the worker pool.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// Fixed task count for parallel kernel splits. Chunk boundaries derive
+/// from this constant and the shape only, so any pool size produces the
+/// same per-task sub-problems (and therefore the same bits).
+const MAX_PAR_TASKS: usize = 16;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -25,6 +47,12 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
 }
 
 impl Matrix {
@@ -116,56 +144,75 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place to an all-zero `rows x cols`, reusing the
+    /// existing allocation when it is large enough. This is what makes
+    /// the `*_into` kernels allocation-free across training batches.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self @ other`.
+    ///
+    /// Runs on the process-wide [`WorkerPool::shared`] pool above the
+    /// parallel threshold; see [`Matrix::matmul_into`].
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out, WorkerPool::shared());
+        out
+    }
+
+    /// `self @ other`, written into `out` (reshaped and zeroed, reusing
+    /// its allocation).
+    ///
+    /// Below the parallel FLOP threshold — or on a 1-worker pool, where
+    /// splitting only adds queue traffic — the sequential kernel runs
+    /// inline. Above it, output rows are split into a fixed number of
+    /// shape-derived chunks on `pool`; every output element is produced by
+    /// one task running the same kernel, so the result is bitwise
+    /// identical for any pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix, pool: &WorkerPool) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let flops = self.rows * self.cols * other.cols;
-        if flops < PARALLEL_FLOP_THRESHOLD || self.rows < 2 {
-            matmul_rows(
-                &self.data,
-                &other.data,
-                &mut out.data,
-                self.cols,
-                other.cols,
-                0,
-            );
-        } else {
-            let threads = std::thread::available_parallelism()
-                .map_or(4, |n| n.get())
-                .min(8);
-            let chunk_rows = self.rows.div_ceil(threads);
-            let cols = self.cols;
-            let ocols = other.cols;
-            crossbeam::thread::scope(|s| {
-                for (i, out_chunk) in out.data.chunks_mut(chunk_rows * ocols).enumerate() {
-                    let a = &self.data[i * chunk_rows * cols
-                        ..(i * chunk_rows * cols + (out_chunk.len() / ocols) * cols)];
-                    let b = &other.data;
-                    s.spawn(move |_| {
-                        matmul_rows(a, b, out_chunk, cols, ocols, 0);
-                    });
-                }
-            })
-            .expect("matmul worker panicked");
+        out.reset_to(self.rows, other.cols);
+        let (k, n) = (self.cols, other.cols);
+        let flops = self.rows * k * n;
+        if pool.workers() == 1 || self.rows < 2 || flops < PARALLEL_FLOP_THRESHOLD {
+            matmul_rows(&self.data, &other.data, &mut out.data, k, n);
+            return;
         }
-        out
+        let a = &self.data;
+        let b = &other.data;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(MAX_PAR_TASKS);
+        let mut tail: &mut [f32] = &mut out.data;
+        for r in chunk_plan(self.rows, MAX_PAR_TASKS) {
+            let (chunk, rest) = tail.split_at_mut(r.len() * n);
+            tail = rest;
+            let a_block = &a[r.start * k..r.end * k];
+            tasks.push(Box::new(move || matmul_rows(a_block, b, chunk, k, n)));
+        }
+        pool.run(tasks);
     }
 
     /// `self @ other^T` (common in backprop).
     ///
-    /// Materializes `other^T` once and reuses the blocked row-major kernel
-    /// (and parallel dispatch) of [`Matrix::matmul`]: the inner sweep then
-    /// runs along contiguous output rows with the sparse-row skip, instead
-    /// of the naive triple loop's strided dot products.
+    /// Materializes `other^T` once and reuses the row-major kernel (and
+    /// parallel dispatch) of [`Matrix::matmul`]: the inner sweep then runs
+    /// along contiguous output rows with the sparse-row skip, instead of
+    /// the naive triple loop's strided dot products.
     ///
     /// # Panics
     ///
@@ -185,37 +232,77 @@ impl Matrix {
     ///
     /// Panics on dimension mismatch.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_acc_into(other, &mut out, WorkerPool::shared());
+        out
+    }
+
+    /// Accumulates `self^T @ other` into `out` (`out += self^T @ other`),
+    /// the BPTT weight-gradient kernel: gradients sum over time steps, so
+    /// accumulating in place removes a full temporary-plus-add pass per
+    /// step.
+    ///
+    /// The loop runs output-row-major (`i` outer, `k` inner): each output
+    /// row stays hot in cache across the whole `k` sweep, and the
+    /// per-element `k`-ascending accumulation order of the naive kernel is
+    /// preserved exactly. Parallel splits follow the same shape-derived
+    /// chunk plan as [`Matrix::matmul_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or if `out` is not
+    /// `self.cols x other.cols`.
+    pub fn transpose_matmul_acc_into(&self, other: &Matrix, out: &mut Matrix, pool: &WorkerPool) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a = self.row(k);
-            let b = other.row(k);
-            for (i, &av) in a.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = out.row_mut(i);
-                for (j, &bv) in b.iter().enumerate() {
-                    orow[j] += av * bv;
-                }
-            }
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "t_matmul accumulator is {}x{}, need {}x{}",
+            out.rows,
+            out.cols,
+            self.cols,
+            other.cols
+        );
+        let (a_cols, n) = (self.cols, other.cols);
+        let flops = self.rows * a_cols * n;
+        if pool.workers() == 1 || a_cols < 2 || flops < PARALLEL_FLOP_THRESHOLD {
+            t_matmul_acc(&self.data, &other.data, &mut out.data, 0, a_cols, n);
+            return;
         }
-        out
+        let a = &self.data;
+        let b = &other.data;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(MAX_PAR_TASKS);
+        let mut tail: &mut [f32] = &mut out.data;
+        for r in chunk_plan(a_cols, MAX_PAR_TASKS) {
+            let (chunk, rest) = tail.split_at_mut(r.len() * n);
+            tail = rest;
+            tasks.push(Box::new(move || {
+                t_matmul_acc(a, b, chunk, r.start, a_cols, n)
+            }));
+        }
+        pool.run(tasks);
     }
 
     /// The transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// The transpose, written into `out` (reshaped, reusing its
+    /// allocation).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_to(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
     }
 
     /// Element-wise in-place addition.
@@ -256,21 +343,28 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.hadamard_into(other, &mut out);
+        out
+    }
+
+    /// Element-wise product, written into `out` (reshaped, reusing its
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
             "shape mismatch"
         );
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| a * b)
-                .collect(),
-        }
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&other.data).map(|(a, b)| a * b));
     }
 
     /// Sum of all elements.
@@ -293,21 +387,138 @@ impl Matrix {
     }
 }
 
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize, _off: usize) {
-    let rows = out.len() / n;
-    for i in 0..rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+// ---------------------------------------------------------------------------
+// Kernel tiers
+//
+// One `#[inline(always)]` body per kernel, compiled under each target
+// feature set by a thin `#[target_feature]` wrapper (the dispatch-ladder
+// idiom of `sushi_ssnn::packed`). Under AVX2 the axpy loop vectorizes
+// 8-wide with separate vmulps/vaddps — Rust never contracts them into
+// FMA, so every tier produces identical bits.
+// ---------------------------------------------------------------------------
+
+/// `out[j] += a * b[j]` — the axpy inner loop every matmul kernel reduces
+/// to. Per-element: one rounding for the multiply, one for the add, in
+/// index order; this is the contract the SIMD tiers must (and do)
+/// preserve.
+#[inline(always)]
+fn axpy(out: &mut [f32], b: &[f32], a: f32) {
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
+/// Row-block matmul: `out[i] = sum_p a[i][p] * b[p]` for a contiguous row
+/// block (`a` holds the block's rows, `out` the matching output rows).
+#[inline(always)]
+fn matmul_rows_body(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (arow, orow) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
         for (p, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue; // spike matrices are sparse
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+            axpy(orow, &b[p * n..(p + 1) * n], av);
         }
     }
+}
+
+/// Transposed-matmul accumulation for a contiguous output-row block:
+/// `out[i][j] += sum_k a[k][i0 + i] * b[k][j]`, `k` ascending — the same
+/// per-element order as the naive `k`-outer loop, restructured so each
+/// output row stays cache-hot across the `k` sweep.
+#[inline(always)]
+fn t_matmul_acc_body(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    i0: usize,
+    a_cols: usize,
+    n: usize,
+) {
+    if a_cols == 0 || n == 0 {
+        return;
+    }
+    for (local, orow) in out_chunk.chunks_exact_mut(n).enumerate() {
+        let i = i0 + local;
+        for (kk, brow) in b.chunks_exact(n).enumerate() {
+            let av = a[kk * a_cols + i];
+            if av == 0.0 {
+                continue; // spike inputs are sparse
+            }
+            axpy(orow, brow, av);
+        }
+    }
+}
+
+fn matmul_rows_baseline(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    matmul_rows_body(a, b, out, k, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_rows_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    matmul_rows_body(a, b, out, k, n);
+}
+
+fn t_matmul_acc_baseline(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    i0: usize,
+    a_cols: usize,
+    n: usize,
+) {
+    t_matmul_acc_body(a, b, out_chunk, i0, a_cols, n);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn t_matmul_acc_avx2(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    i0: usize,
+    a_cols: usize,
+    n: usize,
+) {
+    t_matmul_acc_body(a, b, out_chunk, i0, a_cols, n);
+}
+
+/// The SIMD tier the matmul kernels dispatch to on this host (`"avx2"` or
+/// `"scalar"`) — for bench and diagnostics output; every tier is bitwise
+/// identical, so this never affects results.
+pub fn simd_tier() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return "avx2";
+    }
+    "scalar"
+}
+
+/// Runtime dispatch for the row-block matmul kernel. The feature probe is
+/// cached by std, so this costs one relaxed atomic load per call.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { matmul_rows_avx2(a, b, out, k, n) };
+        return;
+    }
+    matmul_rows_baseline(a, b, out, k, n);
+}
+
+/// Runtime dispatch for the transposed-matmul accumulation kernel.
+fn t_matmul_acc(a: &[f32], b: &[f32], out_chunk: &mut [f32], i0: usize, a_cols: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime just above.
+        unsafe { t_matmul_acc_avx2(a, b, out_chunk, i0, a_cols, n) };
+        return;
+    }
+    t_matmul_acc_baseline(a, b, out_chunk, i0, a_cols, n);
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -370,10 +581,7 @@ mod tests {
         assert_eq!(a.matmul(&Matrix::identity(3)), a);
     }
 
-    #[test]
-    fn parallel_matmul_matches_serial() {
-        // Big enough to cross the parallel threshold.
-        let n = 260;
+    fn patterned(n: usize) -> (Matrix, Matrix) {
         let mut a = Matrix::zeros(n, n);
         let mut b = Matrix::zeros(n, n);
         for i in 0..n {
@@ -382,12 +590,54 @@ mod tests {
                 b[(i, j)] = ((i * 5 + j * 13) % 7) as f32 - 3.0;
             }
         }
+        (a, b)
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Big enough to cross the parallel threshold.
+        let n = 260;
+        let (a, b) = patterned(n);
         let big = a.matmul(&b);
         // Serial reference on a few spot cells.
         for &(i, j) in &[(0, 0), (17, 211), (259, 259), (100, 3)] {
             let expect: f32 = (0..n).map(|k| a[(i, k)] * b[(k, j)]).sum();
             assert!((big[(i, j)] - expect).abs() < 1e-3, "({i},{j})");
         }
+    }
+
+    #[test]
+    fn matmul_is_pool_size_invariant() {
+        // Regression for the old thread-count logic that spawned threads
+        // even on 1-CPU hosts: above the parallel threshold, every pool
+        // size must produce identical bits (fixed shape-derived chunk
+        // boundaries + 1-worker sequential fallback).
+        let n = 260;
+        let (a, b) = patterned(n);
+        let mut reference = Matrix::default();
+        a.matmul_into(&b, &mut reference, &WorkerPool::new(1));
+        for workers in [2, 7] {
+            let pool = WorkerPool::new(workers);
+            let mut out = Matrix::default();
+            a.matmul_into(&b, &mut out, &pool);
+            assert_eq!(out, reference, "workers={workers}");
+            let mut acc = Matrix::zeros(n, n);
+            a.transpose_matmul_acc_into(&b, &mut acc, &pool);
+            let mut acc_seq = Matrix::zeros(n, n);
+            a.transpose_matmul_acc_into(&b, &mut acc_seq, &WorkerPool::new(1));
+            assert_eq!(acc, acc_seq, "t_matmul workers={workers}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_allocation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        let mut out = Matrix::zeros(8, 8); // larger than needed
+        let cap_ptr = out.data.as_ptr();
+        a.matmul_into(&b, &mut out, WorkerPool::shared());
+        assert_eq!(out, a);
+        assert_eq!(out.data.as_ptr(), cap_ptr, "buffer must be reused");
     }
 
     #[test]
@@ -405,6 +655,32 @@ mod tests {
     }
 
     #[test]
+    fn transpose_matmul_acc_accumulates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+        let mut acc = Matrix::from_rows(&[&[100.0], &[200.0]]);
+        a.transpose_matmul_acc_into(&b, &mut acc, WorkerPool::shared());
+        // a^T @ b = [[1*5+3*6], [2*5+4*6]] = [[23], [34]]
+        assert_eq!(acc, Matrix::from_rows(&[&[123.0], &[234.0]]));
+    }
+
+    #[test]
+    fn reset_to_zeroes_and_reshapes() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        m.reset_to(2, 2);
+        assert_eq!(m, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut out = Matrix::default();
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+        assert_eq!(out.rows(), 3);
+    }
+
+    #[test]
     fn argmax_rows_picks_first_max() {
         let a = Matrix::from_rows(&[&[0.1, 0.9, 0.3], &[1.0, -1.0, 0.0]]);
         assert_eq!(a.argmax_rows(), vec![1, 0]);
@@ -415,6 +691,9 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, -2.0]]);
         assert_eq!(a.map(f32::abs), Matrix::from_rows(&[&[1.0, 2.0]]));
         assert_eq!(a.hadamard(&a), Matrix::from_rows(&[&[1.0, 4.0]]));
+        let mut out = Matrix::default();
+        a.hadamard_into(&a, &mut out);
+        assert_eq!(out, Matrix::from_rows(&[&[1.0, 4.0]]));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::data::Dataset;
 use crate::encoding::PoissonEncoder;
 use crate::metrics::{accuracy, Evaluation};
-use crate::network::SnnMlp;
+use crate::network::{SnnMlp, TrainScratch};
 use crate::optim::Adam;
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -147,12 +147,29 @@ impl TrainedSnn {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    /// `Some(n)`: run the kernels on a dedicated n-worker pool instead of
+    /// the shared host-sized one. Results are bitwise identical either
+    /// way (see [`crate::pool`]).
+    workers: Option<usize>,
 }
 
 impl Trainer {
-    /// A trainer with the given configuration.
+    /// A trainer with the given configuration, running on the process-wide
+    /// shared worker pool.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            workers: None,
+        }
+    }
+
+    /// Pins training to a dedicated pool of `workers` workers (builder
+    /// style). The trained model is bitwise identical for any worker
+    /// count — `training_is_worker_invariant` in `tests/properties.rs`
+    /// pins this.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Trains on `data` and returns the model.
@@ -189,42 +206,49 @@ impl Trainer {
         } else {
             0
         };
+        // XNOR-Net clips latent weights to [-1, 1] (fused into the Adam
+        // sweep).
+        let clamp = if cfg.binary_weights {
+            Some((-1.0f32, 1.0f32))
+        } else {
+            None
+        };
+        // One scratch (and worker pool) for the whole run: batches reuse
+        // every buffer, so the steady-state loop does not touch the heap.
+        let mut ws = match self.workers {
+            Some(n) => TrainScratch::with_workers(n),
+            None => TrainScratch::new(),
+        };
+        let mut frames: Vec<Matrix> = Vec::new();
+        let mut targets = Matrix::default();
+        let mut samples: Vec<&[f32]> = Vec::with_capacity(cfg.batch);
+        let mut ids: Vec<u64> = Vec::with_capacity(cfg.batch);
         let mut batch_idx = 0usize;
         let mut history = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0u32;
-            let shuffled = data.shuffled(cfg.seed.wrapping_add(epoch as u64));
-            for chunk_start in (0..shuffled.len()).step_by(cfg.batch) {
+            let order = data.shuffled_indices(cfg.seed.wrapping_add(epoch as u64));
+            for chunk in order.chunks(cfg.batch) {
                 if mix_period > 0 {
                     mlp = mlp.with_stateless(!batch_idx.is_multiple_of(mix_period));
                 }
                 batch_idx += 1;
-                let end = (chunk_start + cfg.batch).min(shuffled.len());
-                let samples: Vec<&[f32]> = shuffled.images[chunk_start..end]
-                    .iter()
-                    .map(Vec::as_slice)
-                    .collect();
-                let ids: Vec<u64> = (0..samples.len() as u64).map(|k| step_id + k).collect();
+                samples.clear();
+                samples.extend(chunk.iter().map(|&i| data.images[i].as_slice()));
+                ids.clear();
+                ids.extend((0..samples.len() as u64).map(|k| step_id + k));
                 step_id += samples.len() as u64;
-                let frames = enc.encode_batch(&samples, cfg.time_steps, &ids);
-                let mut targets = Matrix::zeros(samples.len(), cfg.classes);
-                for (r, &label) in shuffled.labels[chunk_start..end].iter().enumerate() {
-                    targets[(r, label as usize)] = 1.0;
+                enc.encode_batch_into(&samples, cfg.time_steps, &ids, &mut frames);
+                targets.reset_to(samples.len(), cfg.classes);
+                for (r, &i) in chunk.iter().enumerate() {
+                    targets[(r, data.labels[i] as usize)] = 1.0;
                 }
-                let record = mlp.forward_record(&frames);
-                let (loss, grads) = mlp.backward(&record, &targets);
+                mlp.forward_record_with(&frames, &mut ws);
+                let loss = mlp.backward_with(&frames, &targets, &mut ws);
                 epoch_loss += loss;
                 batches += 1;
-                opt.step(mlp.weights_mut(), &grads);
-                if cfg.binary_weights {
-                    // XNOR-Net clips latent weights to [-1, 1].
-                    for w in mlp.weights_mut() {
-                        for v in w.as_mut_slice() {
-                            *v = v.clamp(-1.0, 1.0);
-                        }
-                    }
-                }
+                opt.step_clamped(mlp.weights_mut(), ws.grads(), clamp);
             }
             history.push(epoch_loss / batches.max(1) as f32);
         }

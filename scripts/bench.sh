@@ -4,7 +4,8 @@
 # throughput numbers.
 #
 #   scripts/bench.sh            full run -> BENCH_sim.json + BENCH_ssnn.json
-#                               + BENCH_serve.json (tracked baselines)
+#                               + BENCH_serve.json + BENCH_train.json
+#                               (tracked baselines)
 #   scripts/bench.sh --smoke    tiny budget -> temp files, structural checks
 #
 # The vendored criterion stand-in appends one JSON line per benchmark to
@@ -21,10 +22,15 @@ mode=full
 raw_sim="$(mktemp)"
 raw_ssnn="$(mktemp)"
 raw_serve="$(mktemp)"
+raw_train="$(mktemp)"
 tmp_sim="$(mktemp sushi-bench-sim.XXXXXX)"
 tmp_ssnn="$(mktemp sushi-bench-ssnn.XXXXXX)"
 tmp_serve="$(mktemp sushi-bench-serve.XXXXXX)"
-cleanup() { rm -f "$raw_sim" "$raw_ssnn" "$raw_serve" "$tmp_sim" "$tmp_ssnn" "$tmp_serve"; }
+tmp_train="$(mktemp sushi-bench-train.XXXXXX)"
+cleanup() {
+  rm -f "$raw_sim" "$raw_ssnn" "$raw_serve" "$raw_train" \
+    "$tmp_sim" "$tmp_ssnn" "$tmp_serve" "$tmp_train"
+}
 trap cleanup EXIT
 
 serve_args=()
@@ -41,6 +47,9 @@ CRITERION_JSON="$raw_sim" cargo bench -q -p sushi-bench --bench sim_engine
 echo "==> cargo bench -p sushi-bench --bench table3_inference ($mode)"
 CRITERION_JSON="$raw_ssnn" cargo bench -q -p sushi-bench --bench table3_inference
 
+echo "==> cargo bench -p sushi-bench --bench train_pipeline ($mode)"
+CRITERION_JSON="$raw_train" cargo bench -q -p sushi-bench --bench train_pipeline
+
 echo "==> serving-throughput scenarios ($mode)"
 SERVE_JSON="$raw_serve" cargo run --release -q -p sushi-bench -- "${serve_args[@]}" serve
 
@@ -48,7 +57,7 @@ SERVE_JSON="$raw_serve" cargo run --release -q -p sushi-bench -- "${serve_args[@
 # (e.g. a dynamic "<n>_workers" row colliding with a static one on an
 # n-core host) would silently shadow its twin in every jq `first`
 # selector below.
-for raw in "$raw_sim" "$raw_ssnn"; do
+for raw in "$raw_sim" "$raw_ssnn" "$raw_train"; do
   jq -es 'map(.id) | length == (unique | length)' "$raw" >/dev/null \
     || { echo "bench.sh: duplicate benchmark ids in $raw:" >&2; \
          jq -rs 'group_by(.id) | map(select(length > 1) | .[0].id) | .[]' "$raw" >&2; exit 1; }
@@ -165,6 +174,60 @@ if [[ "$mode" == full ]]; then
     || { echo "bench.sh: bitplane batch-64 speedup below 3x packed" >&2; exit 1; }
 fi
 
+# The training-pipeline headlines: BPTT forward/backward/epoch samples/s
+# on the paper's 784-800-10 shape, plus the epoch speedup against the
+# pre-SIMD baseline (commit 9ce6bef5a06c, spawn-per-matmul crossbeam
+# kernels, allocating BPTT) measured on the same single-CPU host class.
+train_baseline_epoch=1855.99
+train_baseline_commit="9ce6bef5a06c"
+jq -s --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" \
+  --argjson cpus "$cpus" --argjson base "$train_baseline_epoch" \
+  --arg basecommit "$train_baseline_commit" '
+  (map(select(.id == "train_forward_784_800_10")) | first) as $fwd
+  | (map(select(.id == "train_backward_784_800_10")) | first) as $bwd
+  | (map(select(.id == "train_epoch_784_800_10")) | first) as $epoch
+  | {
+      commit: $commit,
+      mode: $mode,
+      generated_utc: $date,
+      host_cpus: $cpus,
+      baseline: {
+        commit: $basecommit,
+        epoch_samples_per_s: $base
+      },
+      headline: {
+        forward_samples_per_s:
+          (if $fwd then ($fwd.elem_per_s * 1000 | round / 1000) else null end),
+        backward_samples_per_s:
+          (if $bwd then ($bwd.elem_per_s * 1000 | round / 1000) else null end),
+        epoch_samples_per_s:
+          (if $epoch then ($epoch.elem_per_s * 1000 | round / 1000) else null end),
+        epoch_speedup_vs_baseline:
+          (if ($epoch and ($base > 0))
+           then ($epoch.elem_per_s / $base * 100 | round / 100)
+           else null end)
+      },
+      benchmarks: .
+    }' "$raw_train" > "$tmp_train"
+
+# Structural gate in both modes: all three rows reported with positive
+# rates and the baseline speedup computable.
+jq -e '
+  .commit and (.benchmarks | length) >= 3
+  and .headline.forward_samples_per_s > 0
+  and .headline.backward_samples_per_s > 0
+  and .headline.epoch_samples_per_s > 0
+  and .headline.epoch_speedup_vs_baseline > 0
+' "$tmp_train" >/dev/null || { echo "bench.sh: train summary failed validation" >&2; exit 1; }
+
+# Training-kernel gate in full mode only: the SIMD + pooled-thread +
+# allocation-free hot path must hold at least a 2x epoch-throughput lead
+# over the pre-PR baseline — the PR acceptance bar.
+if [[ "$mode" == full ]]; then
+  jq -e '.headline.epoch_speedup_vs_baseline >= 2' "$tmp_train" >/dev/null \
+    || { echo "bench.sh: training epoch speedup below 2x baseline" >&2; exit 1; }
+fi
+
 # The serving summary: the serve binary already emits the full payload;
 # stamp it with commit/mode/date.
 jq --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" \
@@ -204,13 +267,14 @@ if [[ "$mode" == full ]]; then
 fi
 
 if [[ "$mode" == smoke ]]; then
-  echo "smoke bench OK ($(jq -r '.benchmarks | length' "$tmp_sim")+$(jq -r '.benchmarks | length' "$tmp_ssnn") benchmarks + serve scenarios, outputs validated)"
+  echo "smoke bench OK ($(jq -r '.benchmarks | length' "$tmp_sim")+$(jq -r '.benchmarks | length' "$tmp_ssnn")+$(jq -r '.benchmarks | length' "$tmp_train") benchmarks + serve scenarios, outputs validated)"
 else
   # Validated: move the summaries into place atomically.
   mv "$tmp_sim" BENCH_sim.json
   mv "$tmp_ssnn" BENCH_ssnn.json
   mv "$tmp_serve" BENCH_serve.json
-  for f in BENCH_sim.json BENCH_ssnn.json BENCH_serve.json; do
+  mv "$tmp_train" BENCH_train.json
+  for f in BENCH_sim.json BENCH_ssnn.json BENCH_serve.json BENCH_train.json; do
     echo "wrote $f:"
     jq '.headline' "$f"
   done

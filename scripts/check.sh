@@ -26,6 +26,7 @@ bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
 grep -q "hot cells:" <<<"$bench_out"
 grep -q "packed SSNN engine" <<<"$bench_out"
 grep -q "bitplane batch engine" <<<"$bench_out"
+grep -q "training kernels" <<<"$bench_out"
 
 echo "==> criterion + serve bench smoke (scripts/bench.sh --smoke)"
 # Also covers BENCH_serve.json assembly: the smoke run executes the

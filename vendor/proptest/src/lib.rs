@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the slice of the proptest API this workspace uses:
-//! [`Strategy`] with `prop_map`/`boxed`, range, tuple, and [`Just`]
+//! [`Strategy`] with `prop_map`/`prop_flat_map`/`boxed`, range, tuple, and [`Just`]
 //! strategies, [`any`], `prop::collection::vec`, `prop::option::of`,
 //! [`prop_oneof!`], and the
 //! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`]
@@ -33,6 +33,17 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Returns a strategy that draws a value, feeds it to `f`, and draws
+    /// from the strategy `f` returns (dependent generation).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+        O: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Erases the strategy type (used by [`prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -57,6 +68,25 @@ where
 
     fn sample(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
     }
 }
 
@@ -562,6 +592,16 @@ mod tests {
         #[test]
         fn tuple_strategies_sample_componentwise(pairs in prop::collection::vec((0u64..4, 10u64..20), 0..8)) {
             prop_assert!(pairs.iter().all(|&(a, b)| a < 4 && (10..20).contains(&b)));
+        }
+
+        /// `prop_flat_map` supports dependent generation: a drawn length
+        /// parameterizes the inner collection strategy.
+        #[test]
+        fn flat_map_threads_dependent_values(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(Just(n), n)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == v.len()));
         }
     }
 }
