@@ -97,7 +97,8 @@ pub fn serve_report(quick: bool) -> String {
         ServeConfig::new()
             .max_batch(1)
             .max_delay(Duration::from_micros(50))
-            .workers(1),
+            .shards(1)
+            .executors(1),
     );
     {
         let handle = server.handle();
@@ -118,11 +119,13 @@ pub fn serve_report(quick: bool) -> String {
     // backend is Bitplane, so coalesced batches of >= bitplane_min_batch
     // take the 64-lane path automatically (`bitplane_batches` reports
     // how many did).
+    let shards = host_cpus.min(4);
     let batched_cfg = ServeConfig::new()
         .max_batch(32)
         .max_delay(Duration::from_millis(2))
         .queue_capacity(64)
-        .workers(host_cpus);
+        .shards(shards)
+        .executors(host_cpus);
     let server = Server::start(snn.clone(), batched_cfg.clone());
     let batched = loadgen::closed_loop(&server.handle(), &images, 32, duration);
     let batched_stats = server.stats();
@@ -160,8 +163,12 @@ pub fn serve_report(quick: bool) -> String {
                         "serialized_images_per_s",
                         Json::Num(serialized.images_per_s),
                     ),
+                    ("serialized_p50_us", Json::Num(serialized.latency.p50_us)),
                     ("batched_images_per_s", Json::Num(batched.images_per_s)),
                     ("batch_speedup", Json::Num(speedup)),
+                    ("shards", Json::UInt(shards as u64)),
+                    ("executors", Json::UInt(host_cpus as u64)),
+                    ("stolen_batches", Json::UInt(batched_stats.stolen_batches)),
                     (
                         "mean_batch_size",
                         Json::Num(batched_stats.mean_batch_size()),
@@ -190,9 +197,13 @@ pub fn serve_report(quick: bool) -> String {
     out.push_str(&report_lines("overload", &overload));
     out.push('\n');
     out.push_str(&format!(
-        "  batch speedup {speedup:.2}x, mean batch {:.1}, bitplane batches {}, overload target {target_rate:.0}/s",
+        "  batch speedup {speedup:.2}x, mean batch {:.1}, bitplane batches {}, overload target {target_rate:.0}/s\n",
         batched_stats.mean_batch_size(),
         batched_stats.bitplane_batches,
+    ));
+    out.push_str(&format!(
+        "  pipeline: {shards} shards x {host_cpus} executors, {} stolen batches",
+        batched_stats.stolen_batches,
     ));
     out
 }

@@ -968,6 +968,64 @@ pub fn bench_metrics(scale: Scale) -> String {
         bitplane_rate / packed_rate.max(1e-9),
     ));
 
+    // Serving drill-down: the same packed network behind the sharded
+    // micro-batching pipeline — concurrent pre-packed clients, served
+    // classes checked bitwise against the offline packed predictions.
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shards = host_cpus.min(4);
+    let server = sushi_serve::Server::start(
+        packed.clone(),
+        sushi_serve::ServeConfig::new()
+            .max_batch(8)
+            .max_delay(std::time::Duration::from_millis(1))
+            .shards(shards)
+            .executors(host_cpus),
+    );
+    let width = packed.input_width();
+    let offline = &preds[1];
+    let clients = host_cpus.min(4);
+    let serve_reps = 5;
+    let t = Instant::now();
+    let served_match = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle().with_affinity(c);
+                let frames = &frames;
+                scope.spawn(move || {
+                    let mut requests: Vec<sushi_serve::PackedRequest> = frames
+                        .iter()
+                        .map(|img| sushi_serve::PackedRequest::from_bool_frames(width, img))
+                        .collect();
+                    let mut ok = true;
+                    for _ in 0..serve_reps {
+                        for (req, &want) in requests.iter_mut().zip(offline) {
+                            let got = handle.predict_packed(req).expect("serve ok");
+                            ok &= got.class == want;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().expect("serve client"))
+    });
+    let serve_rate =
+        (clients * serve_reps * frames.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+    let serve_stats = server.stats();
+    drop(server);
+    out.push_str(&format!(
+        "\n## Bench: serving pipeline (sharded micro-batching)\n\
+         shards {} | executors {} | clients {} | {:.0} images/s | mean batch {:.1} | \
+         stolen batches {} | served classes match offline: {}\n",
+        shards,
+        host_cpus,
+        clients,
+        serve_rate,
+        serve_stats.mean_batch_size(),
+        serve_stats.stolen_batches,
+        served_match,
+    ));
+
     // Training-kernel drill-down: the allocation-free BPTT hot path
     // (SIMD matmul tiers + persistent worker pool) on a scaled-down
     // network, measured exactly as `Trainer::fit` drives it.

@@ -1,20 +1,27 @@
-//! Serving-side configuration: micro-batch trigger, admission bound and
-//! inference parallelism.
+//! Serving-side configuration: micro-batch trigger, admission bound,
+//! shard topology and executor parallelism.
 
 use std::time::Duration;
 use sushi_ssnn::Backend;
 
 /// Tuning knobs of a [`Server`](crate::Server).
 ///
-/// The batcher coalesces admitted requests into one inference batch when
-/// *either* trigger fires:
+/// Admitted requests land on one of `shards` admission queues
+/// (round-robin for anonymous handles, connection-affine for socket
+/// clients) and are drained by `executors` executor threads, each owning
+/// persistent inference scratch. An executor dispatches a shard's batch
+/// when *either* trigger fires:
 ///
-/// * **size** — `max_batch` requests are waiting, or
-/// * **deadline** — the oldest waiting request has been queued for
-///   `max_delay`.
+/// * **size** — `max_batch` requests are waiting on that shard, or
+/// * **deadline** — the shard's oldest waiting request has been queued
+///   for `max_delay`.
 ///
-/// Admission is bounded by `queue_capacity`: a request arriving at a full
-/// queue is shed immediately with
+/// Executors prefer their home shard but steal whole batches from any
+/// dispatchable shard, so skewed placement cannot strand requests.
+///
+/// Admission is bounded by `queue_capacity` *in total across shards*
+/// (tracked by a lock-free gauge): a request arriving over the bound is
+/// shed immediately with
 /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) instead of
 /// growing the queue (and every admitted request's latency) without
 /// bound.
@@ -29,7 +36,8 @@ use sushi_ssnn::Backend;
 ///     .max_batch(16)
 ///     .max_delay(Duration::from_millis(1))
 ///     .queue_capacity(64)
-///     .workers(2);
+///     .shards(2)
+///     .executors(2);
 /// assert_eq!(cfg.max_batch, 16);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,11 +47,18 @@ pub struct ServeConfig {
     /// Deadline trigger: longest the oldest admitted request waits before
     /// its (possibly partial) batch is dispatched anyway.
     pub max_delay: Duration,
-    /// Admission bound: requests beyond this many waiting are shed.
+    /// Admission bound: requests beyond this many waiting (summed across
+    /// all shards) are shed.
     pub queue_capacity: usize,
-    /// Inference worker threads per batch (`PackedSnn::predict_batch`);
-    /// `1` runs batches on the batcher thread with one long-lived scratch.
-    pub workers: usize,
+    /// Admission shard count: independent queues with their own mutex,
+    /// so concurrent admissions contend 1/N as often. More shards than
+    /// executors rarely helps; the default is `min(4, host CPUs)`.
+    pub shards: usize,
+    /// Executor thread count: threads draining shards into inference
+    /// batches, each with its own long-lived scratch. Batches run
+    /// single-threaded on their executor — cross-batch parallelism
+    /// replaces the old intra-batch worker fan-out.
+    pub executors: usize,
     /// Which inference engine serves batches. [`Backend::Bitplane`]
     /// (the default) evaluates micro-batches of at least
     /// `bitplane_min_batch` on the 64-lane bitplane path and falls back
@@ -61,12 +76,13 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         Self {
             max_batch: 32,
             max_delay: Duration::from_millis(2),
             queue_capacity: 128,
-            workers,
+            shards: cpus.min(4),
+            executors: cpus,
             backend: Backend::Bitplane,
             bitplane_min_batch: 8,
         }
@@ -75,7 +91,8 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// The default configuration (batch 32, 2 ms deadline, capacity 128,
-    /// one worker per CPU, bitplane backend from 8 coalesced requests).
+    /// `min(4, CPUs)` shards, one executor per CPU, bitplane backend from
+    /// 8 coalesced requests).
     pub fn new() -> Self {
         Self::default()
     }
@@ -98,10 +115,23 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the per-batch inference worker count (clamped to at least 1).
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+    /// Sets the admission shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
+    }
+
+    /// Sets the executor thread count (clamped to at least 1).
+    pub fn executors(mut self, executors: usize) -> Self {
+        self.executors = executors.max(1);
+        self
+    }
+
+    /// Alias for [`ServeConfig::executors`], kept from the
+    /// single-queue pipeline where per-batch inference workers were the
+    /// only parallelism knob.
+    pub fn workers(self, workers: usize) -> Self {
+        self.executors(workers)
     }
 
     /// Sets the serving backend.
@@ -127,12 +157,21 @@ mod tests {
         let cfg = ServeConfig::new()
             .max_batch(0)
             .queue_capacity(0)
-            .workers(0)
+            .shards(0)
+            .executors(0)
             .bitplane_min_batch(0);
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.queue_capacity, 1);
-        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.executors, 1);
         assert_eq!(cfg.bitplane_min_batch, 1);
+    }
+
+    #[test]
+    fn workers_aliases_executors() {
+        let cfg = ServeConfig::new().workers(7);
+        assert_eq!(cfg.executors, 7);
+        assert_eq!(ServeConfig::new().workers(0).executors, 1);
     }
 
     #[test]
@@ -140,6 +179,7 @@ mod tests {
         let cfg = ServeConfig::new();
         assert_eq!(cfg.backend, Backend::Bitplane);
         assert_eq!(cfg.bitplane_min_batch, 8);
+        assert!(cfg.shards >= 1 && cfg.shards <= 4);
         assert_eq!(cfg.backend(Backend::Packed).backend, Backend::Packed);
     }
 }

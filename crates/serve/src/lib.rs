@@ -6,15 +6,27 @@
 //! class. Serving them one-by-one wastes the batch engine; queueing them
 //! without bound wastes the clients. `sushi-serve` sits in between:
 //!
-//! * **Dynamic micro-batching** — admitted requests are coalesced into a
-//!   batch dispatched when either `max_batch` requests are waiting
-//!   (size trigger) or the oldest has waited `max_delay` (deadline
-//!   trigger), then fed to [`sushi_ssnn::PackedSnn::predict_batch`].
-//!   Served predictions are bitwise identical to offline inference.
-//! * **Admission control / backpressure** — the request queue is bounded
-//!   (`queue_capacity`); a request arriving at a full queue is shed
-//!   immediately with a structured [`ServeError::Overloaded`] instead of
-//!   silently inflating everyone's latency.
+//! * **Zero-copy request path** — requests travel as [`PackedRequest`]
+//!   (bit-packed `u64` spike words, the engine's native representation)
+//!   from the edge to the engine. The socket front end decodes wire
+//!   bytes straight into packed words, the in-process handle packs
+//!   bools once at the edge (or lends an already-packed buffer via
+//!   [`ServeHandle::predict_packed`]), and payloads move through the
+//!   pipeline by `mem::swap` — the steady state allocates nothing per
+//!   request.
+//! * **Dynamic micro-batching, sharded** — admission lands on one of
+//!   `shards` independent queues drained by `executors` threads with
+//!   long-lived scratch. A batch dispatches when either `max_batch`
+//!   requests wait on a shard (size trigger) or its oldest has waited
+//!   `max_delay` (deadline trigger); executors steal ripe batches from
+//!   sibling shards. Served predictions are bitwise identical to
+//!   offline [`sushi_ssnn::PackedSnn::predict_batch`] for every shard
+//!   and executor count.
+//! * **Admission control / backpressure** — total queued requests are
+//!   bounded (`queue_capacity`, tracked by a lock-free gauge); a
+//!   request arriving over the bound is shed immediately with a
+//!   structured [`ServeError::Overloaded`] instead of silently
+//!   inflating everyone's latency.
 //! * **Front ends** — an in-process [`ServeHandle`] for harness use, and
 //!   a Unix-domain-socket front end ([`socket`]) with a tiny length-free
 //!   binary protocol for out-of-process clients.
@@ -34,7 +46,7 @@
 //! let layer = PackedLayer::from_parts(&[1; 8], 4, 2, &[0, 0]);
 //! let snn = PackedSnn::from_layers(vec![layer]);
 //!
-//! let server = Server::start(snn, ServeConfig::new().max_batch(8).workers(1));
+//! let server = Server::start(snn, ServeConfig::new().max_batch(8).executors(1));
 //! let handle = server.handle();
 //! let prediction = handle.predict(vec![vec![true, false, true, false]]).unwrap();
 //! assert!(prediction.class < 2);
@@ -49,4 +61,4 @@ mod server;
 pub mod socket;
 
 pub use config::ServeConfig;
-pub use server::{Prediction, ServeError, ServeHandle, Server, ServerStats};
+pub use server::{PackedRequest, Prediction, ServeError, ServeHandle, Server, ServerStats};

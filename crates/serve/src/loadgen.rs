@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use sushi_sim::Json;
 
-use crate::{ServeError, ServeHandle};
+use crate::{PackedRequest, ServeError, ServeHandle};
 
 /// Latency percentiles over one load-generation run, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,12 +155,26 @@ fn record(tally: &mut ClientTally, result: &Result<crate::Prediction, ServeError
     }
 }
 
+/// Packs every image once, up front, so the measured loop submits
+/// pre-packed requests through the zero-copy path — the generator
+/// allocates nothing per request, mirroring a real packed client.
+fn pack_images(handle: &ServeHandle, images: &[Vec<Vec<bool>>]) -> Vec<PackedRequest> {
+    let width = handle.input_width();
+    images
+        .iter()
+        .map(|img| PackedRequest::from_bool_frames(width, img))
+        .collect()
+}
+
 /// Runs `clients` back-to-back submitter threads for `duration`, cycling
-/// through `images` (each an image's frame sequence).
+/// through `images` (each an image's frame sequence). Each client packs
+/// its own copy of the image set before the clock starts and then
+/// submits via [`ServeHandle::predict_packed`].
 ///
 /// # Panics
 ///
-/// Panics if `images` is empty or `clients` is zero.
+/// Panics if `images` is empty, `clients` is zero, or an image's frame
+/// width does not match the network.
 pub fn closed_loop(
     handle: &ServeHandle,
     images: &[Vec<Vec<bool>>],
@@ -175,13 +189,14 @@ pub fn closed_loop(
         let workers: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
+                    let mut requests = pack_images(handle, images);
                     let mut tally = ClientTally::default();
                     let mut at = c; // stagger image cycling across clients
                     while Instant::now() < deadline {
-                        let image = &images[at % images.len()];
+                        let idx = at % requests.len();
                         at += clients;
                         let sent_at = Instant::now();
-                        let result = handle.predict(image.clone());
+                        let result = handle.predict_packed(&mut requests[idx]);
                         record(&mut tally, &result, sent_at.elapsed());
                     }
                     tally
@@ -204,8 +219,8 @@ pub fn closed_loop(
 ///
 /// # Panics
 ///
-/// Panics if `images` is empty, `senders` is zero, or `rate_per_s` is
-/// not positive.
+/// Panics if `images` is empty, `senders` is zero, `rate_per_s` is not
+/// positive, or an image's frame width does not match the network.
 pub fn open_loop(
     handle: &ServeHandle,
     images: &[Vec<Vec<bool>>],
@@ -222,6 +237,7 @@ pub fn open_loop(
         let workers: Vec<_> = (0..senders)
             .map(|s| {
                 scope.spawn(move || {
+                    let mut requests = pack_images(handle, images);
                     let mut tally = ClientTally::default();
                     let mut k = s;
                     while k < total {
@@ -229,8 +245,8 @@ pub fn open_loop(
                         if let Some(wait) = due.checked_duration_since(Instant::now()) {
                             std::thread::sleep(wait);
                         }
-                        let image = &images[k % images.len()];
-                        let result = handle.predict(image.clone());
+                        let idx = k % requests.len();
+                        let result = handle.predict_packed(&mut requests[idx]);
                         record(&mut tally, &result, due.elapsed());
                         k += senders;
                     }

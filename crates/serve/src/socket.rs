@@ -20,6 +20,14 @@
 //! `3` = shutting down. `class` and `batch_size` are zero unless
 //! status is `0`. A connection carries any number of request/response
 //! pairs in sequence.
+//!
+//! The wire format's LSB-first bit packing is the low 8 bits of the
+//! engine's own `u64` word layout, so the server decodes payload bytes
+//! *directly* into a [`PackedRequest`] — 8 bytes per word copy plus a
+//! pad mask — and never materialises a bool. Each connection owns one
+//! reusable payload buffer and one reusable request, and is pinned to
+//! an admission shard, so the steady state allocates nothing per
+//! request.
 
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -28,7 +36,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::{Prediction, ServeError, ServeHandle};
+use crate::{PackedRequest, Prediction, ServeError, ServeHandle};
 
 const OP_PREDICT: u8 = 1;
 
@@ -47,14 +55,23 @@ fn pack_bits(frame: &[bool]) -> Vec<u8> {
     bytes
 }
 
-fn unpack_bits(bytes: &[u8], bits: usize) -> Vec<bool> {
-    (0..bits)
-        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
-        .collect()
+/// Reads and drops exactly `remaining` payload bytes so a rejected
+/// request leaves the stream positioned at the next header.
+fn discard_exact(conn: &mut UnixStream, mut remaining: usize) -> std::io::Result<()> {
+    let mut sink = [0u8; 8192];
+    while remaining > 0 {
+        let take = remaining.min(sink.len());
+        conn.read_exact(&mut sink[..take])?;
+        remaining -= take;
+    }
+    Ok(())
 }
 
 /// Serves one connection until the peer hangs up or sends garbage.
 fn serve_connection(mut conn: UnixStream, handle: &ServeHandle) -> std::io::Result<()> {
+    let want = handle.input_width();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut request = PackedRequest::new();
     loop {
         let mut header = [0u8; 7];
         match conn.read_exact(&mut header) {
@@ -73,13 +90,24 @@ fn serve_connection(mut conn: UnixStream, handle: &ServeHandle) -> std::io::Resu
             return Ok(());
         }
         let bytes_per_frame = bits.div_ceil(8);
-        let mut frames = Vec::with_capacity(frame_count);
-        for _ in 0..frame_count {
-            let mut buf = vec![0u8; bytes_per_frame];
-            conn.read_exact(&mut buf)?;
-            frames.push(unpack_bits(&buf, bits));
+        if bits != want {
+            // Reject before buffering: skip the payload in bounded
+            // chunks (never sized by the peer's claimed width) and keep
+            // the connection alive for its next request.
+            discard_exact(&mut conn, frame_count * bytes_per_frame)?;
+            conn.write_all(&encode_response(&Err(
+                ServeError::BadRequest(String::new()),
+            )))?;
+            continue;
         }
-        let result = handle.predict(frames);
+        payload.clear();
+        payload.resize(frame_count * bytes_per_frame, 0);
+        conn.read_exact(&mut payload)?;
+        request.reset(bits);
+        for frame in payload.chunks_exact(bytes_per_frame) {
+            request.push_frame_from_wire_bytes(frame);
+        }
+        let result = handle.predict_packed(&mut request);
         conn.write_all(&encode_response(&result))?;
     }
 }
@@ -126,12 +154,15 @@ impl SocketServer {
         let accept = std::thread::Builder::new()
             .name("sushi-serve-accept".into())
             .spawn(move || {
-                for conn in listener.incoming() {
+                for (n, conn) in listener.incoming().enumerate() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(conn) = conn else { break };
-                    let conn_handle = handle.clone();
+                    // Connection affinity: pin each connection to one
+                    // admission shard so its requests stay FIFO there
+                    // and contend only with that shard's peers.
+                    let conn_handle = handle.clone().with_affinity(n);
                     // Connection threads are detached; they exit when the
                     // peer disconnects or the inner server shuts down.
                     std::thread::spawn(move || {
@@ -239,10 +270,36 @@ impl SocketClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
-    #[test]
-    fn bit_packing_round_trips() {
-        let frame: Vec<bool> = (0..77).map(|i| i % 3 == 0).collect();
-        assert_eq!(unpack_bits(&pack_bits(&frame), frame.len()), frame);
+    proptest! {
+        /// The client's wire packing and the server's direct byte-to-word
+        /// decode are exact inverses at widths straddling both the byte
+        /// and the `u64` word boundary.
+        #[test]
+        fn wire_packing_round_trips_through_packed_request(
+            width_idx in 0usize..8,
+            seed in 0u64..u64::MAX,
+            frame_count in 0usize..4,
+        ) {
+            let width = [1usize, 7, 8, 9, 63, 64, 65, 130][width_idx];
+            let mut st = seed | 1;
+            let mut step = move || {
+                st ^= st << 13;
+                st ^= st >> 7;
+                st ^= st << 17;
+                st
+            };
+            let frames: Vec<Vec<bool>> = (0..frame_count)
+                .map(|_| (0..width).map(|_| step() % 3 == 0).collect())
+                .collect();
+            let mut request = PackedRequest::new();
+            request.reset(width);
+            for f in &frames {
+                request.push_frame_from_wire_bytes(&pack_bits(f));
+            }
+            prop_assert_eq!(request.to_bool_frames(), frames.clone());
+            prop_assert_eq!(request, PackedRequest::from_bool_frames(width, &frames));
+        }
     }
 }

@@ -1,0 +1,116 @@
+//! Pins the tentpole's allocation-free response path: after warmup, the
+//! in-process packed serving path performs zero heap allocations per
+//! request — slots come from the pool, payloads move by `mem::swap`,
+//! executors reuse their scratch, and queues keep their capacity.
+//!
+//! Lives in its own integration-test binary so the counting global
+//! allocator observes only this scenario's process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sushi_serve::{PackedRequest, ServeConfig, Server};
+use sushi_ssnn::{PackedLayer, PackedSnn};
+
+/// Counts every allocation and reallocation process-wide; frees are
+/// uncounted (a steady state may drop nothing, but must also take
+/// nothing).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn test_net(seed: u64) -> PackedSnn {
+    let mut st = seed | 1;
+    let mut next = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    let mut layer = |ins: usize, outs: usize| {
+        let signs: Vec<i8> = (0..ins * outs)
+            .map(|_| match next() % 8 {
+                0 => 0,
+                1..=3 => -1,
+                _ => 1,
+            })
+            .collect();
+        let thresholds: Vec<i64> = (0..outs).map(|_| (next() % 9) as i64 - 4).collect();
+        PackedLayer::from_parts(&signs, ins, outs, &thresholds)
+    };
+    PackedSnn::from_layers(vec![layer(32, 16), layer(16, 10)])
+}
+
+#[test]
+fn packed_serving_allocates_nothing_per_request_after_warmup() {
+    let snn = test_net(0xA110C);
+    let width = snn.input_width();
+    // max_batch 1: every request dispatches on arrival via the size
+    // trigger, so the steady state is timing-independent.
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(1)
+            .max_delay(Duration::from_millis(5))
+            .shards(1)
+            .executors(1),
+    );
+    let handle = server.handle();
+    let frames: Vec<Vec<bool>> = (0..3)
+        .map(|t| (0..width).map(|i| (i + t) % 3 == 0).collect())
+        .collect();
+    let mut request = PackedRequest::from_bool_frames(width, &frames);
+
+    // Warmup: grow the slot pool, executor staging buffers and scratch
+    // to their steady-state footprint.
+    for _ in 0..64 {
+        handle.predict_packed(&mut request).expect("warmup serve");
+    }
+
+    // A path that allocates per request can never produce a clean
+    // window; a few windows tolerate one-off stragglers from runtime
+    // initialization that the warmup did not flush.
+    let mut deltas = Vec::new();
+    for _ in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..256 {
+            handle.predict_packed(&mut request).expect("steady serve");
+        }
+        deltas.push(ALLOCATIONS.load(Ordering::SeqCst) - before);
+        if deltas.last() == Some(&0) {
+            break;
+        }
+    }
+    assert_eq!(
+        deltas.last(),
+        Some(&0),
+        "steady-state packed serving must not allocate (allocations per \
+         256-request window: {deltas:?})"
+    );
+    drop(server);
+}

@@ -161,13 +161,15 @@ fn packed_backend_never_takes_the_bitplane_path() {
 fn size_trigger_coalesces_full_batches() {
     let snn = test_net(0x51CE);
     let images = spike_images(0x0DD, 4, snn.input_width(), 2);
-    // A huge deadline: only the size trigger can dispatch.
+    // A huge deadline: only the size trigger can dispatch. One shard so
+    // all four requests coalesce on the same queue.
     let server = Server::start(
         snn,
         ServeConfig::new()
             .max_batch(4)
             .max_delay(Duration::from_secs(60))
-            .workers(1),
+            .shards(1)
+            .executors(1),
     );
     let handle = server.handle();
     let batch_sizes: Vec<usize> = std::thread::scope(|scope| {
@@ -372,4 +374,140 @@ fn loadgen_open_loop_measures_from_scheduled_arrival() {
     assert_eq!(report.mode, "open");
     assert_eq!(report.sent, 50, "rate x duration arrivals were scheduled");
     assert_eq!(report.ok + report.rejected, report.sent);
+}
+
+#[test]
+fn predict_packed_round_trips_payload_and_matches_predict() {
+    use sushi_serve::PackedRequest;
+
+    let snn = test_net(0x9ACC);
+    let images = spike_images(0x5151, 6, snn.input_width(), 3);
+    let offline = snn.predict_batch(&images, 1);
+    let width = snn.input_width();
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(2)
+            .max_delay(Duration::from_micros(200))
+            .shards(2)
+            .executors(1),
+    );
+    let handle = server.handle();
+    for (img, &want) in images.iter().zip(&offline) {
+        let mut req = PackedRequest::from_bool_frames(width, img);
+        let before = req.clone();
+        let p = handle.predict_packed(&mut req).expect("serve ok");
+        assert_eq!(p.class, want);
+        assert_eq!(req, before, "payload swapped back intact");
+    }
+
+    // Width mismatch (including the empty request, which must still
+    // carry the network width) is rejected before queueing.
+    let mut wrong = PackedRequest::new();
+    wrong.reset(width + 1);
+    assert!(matches!(
+        handle.predict_packed(&mut wrong).unwrap_err(),
+        ServeError::BadRequest(_)
+    ));
+    // An empty request of the right width is served (all-zero counts).
+    let mut empty = PackedRequest::new();
+    empty.reset(width);
+    assert_eq!(
+        handle.predict_packed(&mut empty).expect("serve ok").class,
+        0
+    );
+}
+
+#[test]
+fn executors_steal_ripe_batches_from_foreign_shards() {
+    let snn = test_net(0x57EA);
+    let images = spike_images(0x57EB, 8, snn.input_width(), 2);
+    let offline = snn.predict_batch(&images, 1);
+    // One executor whose home is shard 0; every request is pinned to
+    // shard 3, so each dispatched batch is necessarily stolen.
+    let server = Server::start(
+        snn,
+        ServeConfig::new()
+            .max_batch(4)
+            .max_delay(Duration::from_micros(100))
+            .shards(4)
+            .executors(1),
+    );
+    let handle = server.handle().with_affinity(3);
+    let served: Vec<usize> = images
+        .iter()
+        .map(|img| handle.predict(img.clone()).expect("serve ok").class)
+        .collect();
+    assert_eq!(served, offline);
+    let stats = server.stats();
+    assert_eq!(stats.served, images.len() as u64);
+    assert_eq!(
+        stats.stolen_batches, stats.batches,
+        "every batch came from a non-home shard"
+    );
+}
+
+mod shard_executor_grid {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The tentpole invariant: served classes are bitwise identical
+        /// to offline `predict_batch` for every shard x executor
+        /// combination, under concurrent clients on both the bool and
+        /// the packed submission path.
+        #[test]
+        fn served_classes_bitwise_equal_offline_for_all_topologies(
+            seed in 1u64..u64::MAX,
+            count in 1usize..6,
+            frames in 1usize..3,
+        ) {
+            let width = test_net(seed).input_width();
+            let images = spike_images(seed ^ 0x6B1D, count, width, frames);
+            let offline = test_net(seed).predict_batch(&images, 1);
+            for &shards in &[1usize, 2, 4] {
+                for &executors in &[1usize, 2, 7] {
+                    let server = Server::start(
+                        test_net(seed),
+                        ServeConfig::new()
+                            .max_batch(4)
+                            .max_delay(Duration::from_micros(100))
+                            .shards(shards)
+                            .executors(executors),
+                    );
+                    let handle = server.handle();
+                    let served: Vec<usize> = std::thread::scope(|scope| {
+                        let clients: Vec<_> = images
+                            .iter()
+                            .enumerate()
+                            .map(|(i, img)| {
+                                let h = handle.clone();
+                                scope.spawn(move || {
+                                    if i % 2 == 0 {
+                                        h.predict(img.clone()).expect("serve ok").class
+                                    } else {
+                                        let mut req = sushi_serve::PackedRequest::from_bool_frames(
+                                            width, img,
+                                        );
+                                        h.predict_packed(&mut req).expect("serve ok").class
+                                    }
+                                })
+                            })
+                            .collect();
+                        clients
+                            .into_iter()
+                            .map(|c| c.join().expect("client thread"))
+                            .collect()
+                    });
+                    prop_assert_eq!(
+                        &served,
+                        &offline,
+                        "shards {} executors {}",
+                        shards,
+                        executors
+                    );
+                }
+            }
+        }
+    }
 }

@@ -240,6 +240,44 @@ impl PartitionPlan {
             cut_wires,
         })
     }
+
+    /// Suggests a worker count for [`Simulator::run_partitioned`] on a
+    /// host with `host_cpus` CPUs, by planning every candidate
+    /// `k in 2..=host_cpus` and scoring the resulting cut statistics:
+    /// lookahead is the work a window can drain before a barrier, and
+    /// every cut wire is a potential cross-partition exchange per
+    /// window, so the score rewards partitions whose windows are wide
+    /// and whose cuts are thin. Candidates only come from
+    /// [`PartitionPlan::plan`], which rejects zero-delay cuts by
+    /// construction, so the suggestion never stalls the time windows.
+    ///
+    /// Returns `1` (sequential) when `host_cpus < 2` or no
+    /// parallel-safe sharding exists at any candidate count; ties
+    /// prefer fewer threads.
+    pub fn suggest_k(netlist: &Netlist, host_cpus: usize) -> usize {
+        if host_cpus < 2 {
+            return 1;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for k in 2..=host_cpus {
+            let Some(plan) = Self::plan(netlist, k) else {
+                continue;
+            };
+            let lookahead = if plan.lookahead_ps.is_finite() {
+                plan.lookahead_ps
+            } else {
+                // Fully disconnected partitions drain in one unbounded
+                // window with no synchronization at all: the best case,
+                // scored far above any finite wire delay.
+                1e12
+            };
+            let score = f64::from(plan.parts) * lookahead / (1.0 + plan.cut_wires as f64);
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, k));
+            }
+        }
+        best.map_or(1, |(_, k)| k)
+    }
 }
 
 /// State shared by all partition workers for one run.
@@ -616,6 +654,36 @@ mod tests {
         let mut one = Netlist::new();
         one.add_cell(CellKind::Jtl, "only");
         assert!(PartitionPlan::plan(&one, 4).is_none());
+    }
+
+    #[test]
+    fn suggest_k_never_suggests_a_zero_delay_cut() {
+        // All-zero-delay chain: every possible cut has zero lookahead,
+        // so the only honest suggestion is sequential — for any CPU
+        // count.
+        let mut z = Netlist::new();
+        let a = z.add_cell(CellKind::Jtl, "a");
+        let b = z.add_cell(CellKind::Jtl, "b");
+        let c = z.add_cell(CellKind::Jtl, "c");
+        z.connect(a, Dout, b, Din).unwrap();
+        z.connect(b, Dout, c, Din).unwrap();
+        for cpus in [1usize, 2, 4, 16] {
+            assert_eq!(PartitionPlan::suggest_k(&z, cpus), 1, "cpus={cpus}");
+        }
+    }
+
+    #[test]
+    fn suggest_k_parallelizes_shardable_netlists() {
+        let n = linked_chains(8, 40.0);
+        assert_eq!(PartitionPlan::suggest_k(&n, 1), 1, "1 CPU is sequential");
+        let k = PartitionPlan::suggest_k(&n, 8);
+        assert!((2..=8).contains(&k), "suggested {k}");
+        // The suggestion is backed by a real plan with usable lookahead.
+        let plan = PartitionPlan::plan(&n, k).expect("suggested k must plan");
+        assert!(plan.lookahead_ps > 0.0);
+        // Two chains, one 40 ps link: the natural suggestion is the
+        // 2-way split that cuts only the link.
+        assert_eq!(k, 2);
     }
 
     #[test]

@@ -99,8 +99,14 @@ impl FromStr for Backend {
 
 /// Argmax with ties to the lowest index, matching the float reference —
 /// the one prediction rule shared by every backend (previously
-/// duplicated privately in `binarize` and `packed`).
-pub(crate) fn argmax_low(counts: &[u32]) -> usize {
+/// duplicated privately in `binarize` and `packed`). Public so callers
+/// that keep their own count buffers (e.g. a serving executor reusing
+/// scratch across batches) apply the exact same rule as the engines.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty.
+pub fn argmax_low(counts: &[u32]) -> usize {
     counts
         .iter()
         .enumerate()

@@ -192,6 +192,68 @@ impl BitplaneBatch {
         }
     }
 
+    /// Transposes up to 64 already-packed frames in: lane `l` takes the
+    /// `l`-th word slice (a [`crate::PackedFrames`] frame of `bits`
+    /// bits). The word-level twin of [`BitplaneBatch::from_frames`] —
+    /// no bool detour, the tile is filled one `u64` copy per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 frames are given or a frame's word count
+    /// is not `bits.div_ceil(64)`.
+    pub fn from_packed_frames(bits: usize, frames: &[&[u64]]) -> Self {
+        let mut b = Self::zeros(bits, frames.len());
+        b.fill_from_lane_words(bits, frames.iter().map(|f| Some(*f)));
+        b
+    }
+
+    /// Repacks this batch from per-lane *packed* frames, reusing its
+    /// allocation: lane `l` takes the `l`-th item's words, `None` lanes
+    /// stay all-zero. The word-level twin of
+    /// [`BitplaneBatch::fill_from_lane_frames`]: each 64-wide block is
+    /// one word copy per lane plus one `transpose64`, so a packed
+    /// request reaches bitplane layout without touching a single bool.
+    ///
+    /// The caller guarantees the frames keep the pad-bit invariant
+    /// (bits past `bits` zero), which [`crate::PackedFrames`] enforces
+    /// on every push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 frames are given or a frame's word count
+    /// is not `bits.div_ceil(64)`.
+    pub fn fill_from_lane_words<'a, I>(&mut self, bits: usize, frames: I)
+    where
+        I: Iterator<Item = Option<&'a [u64]>>,
+    {
+        let words_per_frame = bits.div_ceil(64);
+        let mut lane_refs: [Option<&[u64]>; 64] = [None; 64];
+        let mut lanes = 0usize;
+        for f in frames {
+            assert!(lanes < 64, "at most 64 lanes per batch");
+            if let Some(f) = f {
+                assert_eq!(f.len(), words_per_frame, "frame width mismatch");
+            }
+            lane_refs[lanes] = f;
+            lanes += 1;
+        }
+        self.bits = bits;
+        self.lanes = lanes;
+        self.planes.clear();
+        self.planes.resize(bits, 0);
+        let mut tile = [0u64; 64];
+        for block in 0..words_per_frame {
+            for (l, f) in lane_refs[..lanes].iter().enumerate() {
+                tile[l] = f.map_or(0, |f| f[block]);
+            }
+            tile[lanes..].fill(0);
+            transpose64(&mut tile);
+            let lo = block * 64;
+            let hi = bits.min(lo + 64);
+            self.planes[lo..hi].copy_from_slice(&tile[..hi - lo]);
+        }
+    }
+
     /// Resizes to `bits` planes of `lanes` lanes, all zero.
     ///
     /// # Panics
@@ -656,6 +718,113 @@ impl PackedSnn {
         .expect("predict_batch_bitplane worker panicked");
         preds
     }
+
+    /// Per-class spike counts of one ≤ 64-item group of *packed*
+    /// requests, written into `counts` (one `Vec<u32>` per lane,
+    /// cleared and resized here). The word-level twin of the bool
+    /// group sweep: frames go straight from [`crate::PackedFrames`]
+    /// words into bitplane tiles, so the serve hot path never
+    /// materialises a bool. Items may have different frame counts; at
+    /// step `t` only lanes with more than `t` frames contribute, so
+    /// every lane's counts equal its standalone
+    /// [`PackedSnn::forward_counts_packed`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or if `items` has more than 64
+    /// entries.
+    pub fn bitplane_group_counts_packed(
+        &self,
+        items: &[crate::PackedFrames],
+        s: &mut BitplaneScratch,
+        counts: &mut [Vec<u32>],
+    ) {
+        debug_assert!(items.len() <= 64 && counts.len() == items.len());
+        let classes = self.classes();
+        let width = self.input_width();
+        for it in items {
+            assert_eq!(it.width(), width, "input width mismatch");
+        }
+        for c in counts.iter_mut() {
+            c.clear();
+            c.resize(classes, 0);
+        }
+        let max_frames = items
+            .iter()
+            .map(crate::PackedFrames::len)
+            .max()
+            .unwrap_or(0);
+        for t in 0..max_frames {
+            let mut active = 0u64;
+            for (l, it) in items.iter().enumerate() {
+                active |= u64::from(it.len() > t) << l;
+            }
+            s.x.fill_from_lane_words(
+                width,
+                items.iter().map(|it| (it.len() > t).then(|| it.frame(t))),
+            );
+            for layer in self.layers() {
+                layer.batch_step_into(&s.x, &mut s.y, &mut s.xm);
+                std::mem::swap(&mut s.x, &mut s.y);
+            }
+            for (j, &plane) in s.x.planes()[..classes].iter().enumerate() {
+                let mut fired = plane & active;
+                while fired != 0 {
+                    let l = fired.trailing_zeros() as usize;
+                    counts[l][j] += 1;
+                    fired &= fired - 1;
+                }
+            }
+        }
+    }
+
+    /// Predicts every packed request on the bitplane path: items are
+    /// split into 64-wide lane groups, groups into contiguous
+    /// per-worker chunks in the [`PackedSnn::predict_batch`] style —
+    /// input-ordered and bitwise identical to
+    /// [`PackedSnn::predict_batch_packed`] and the bool engines for
+    /// any worker count (`workers <= 1` runs on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or if a worker thread panics
+    /// (none originate in the engine itself).
+    pub fn predict_batch_bitplane_packed(
+        &self,
+        items: &[crate::PackedFrames],
+        workers: usize,
+    ) -> Vec<usize> {
+        let mut preds = vec![0usize; items.len()];
+        let groups = items.len().div_ceil(64);
+        let plan = crate::packed::chunk_plan(groups, workers);
+        let predict_groups = |items: &[crate::PackedFrames], preds: &mut [usize]| {
+            let mut s = BitplaneScratch::new();
+            let mut counts: Vec<Vec<u32>> = vec![Vec::new(); 64.min(items.len())];
+            for (group, out) in items.chunks(64).zip(preds.chunks_mut(64)) {
+                self.bitplane_group_counts_packed(group, &mut s, &mut counts[..group.len()]);
+                for (slot, c) in out.iter_mut().zip(&counts) {
+                    *slot = crate::backend::argmax_low(c);
+                }
+            }
+        };
+        if plan.len() <= 1 {
+            predict_groups(items, &mut preds);
+            return preds;
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut rest = preds.as_mut_slice();
+            for r in &plan {
+                let item_range = r.start * 64..(r.end * 64).min(items.len());
+                let (out_chunk, tail) = rest.split_at_mut(item_range.len());
+                rest = tail;
+                let item_chunk = &items[item_range];
+                let predict_groups = &predict_groups;
+                scope.spawn(move |_| predict_groups(item_chunk, out_chunk));
+            }
+        })
+        .expect("predict_batch_bitplane_packed worker panicked");
+        preds
+    }
 }
 
 #[cfg(test)]
@@ -866,5 +1035,90 @@ mod tests {
         let net = random_net(1, &[(10, 3)]);
         let p = crate::packed::PackedSnn::from_network(&net);
         let _ = p.forward_counts_bitplane(&[vec![vec![true; 9]]]);
+    }
+
+    #[test]
+    fn fill_from_lane_words_matches_bool_fill() {
+        use crate::PackedFrames;
+        for (n, width) in [(1usize, 1usize), (3, 63), (7, 64), (64, 65), (5, 130)] {
+            let mut st = 0xACE0 + (n * width) as u64;
+            let frames: Vec<Vec<bool>> = (0..n).map(|_| random_frame(&mut st, width)).collect();
+            let packed = PackedFrames::from_bool_frames(width, &frames);
+            let mut from_bools = BitplaneBatch::default();
+            from_bools.fill_from_lane_frames(width, frames.iter().map(|f| Some(f.as_slice())));
+            let word_refs: Vec<&[u64]> = packed.frames().collect();
+            let from_words = BitplaneBatch::from_packed_frames(width, &word_refs);
+            assert_eq!(from_words.planes(), from_bools.planes(), "({n},{width})");
+            assert_eq!(from_words.lanes(), n);
+            assert_eq!(from_words.bits(), width);
+            // None lanes stay zero and keep their lane slot.
+            let mut gappy = BitplaneBatch::default();
+            gappy.fill_from_lane_words(
+                width,
+                packed
+                    .frames()
+                    .enumerate()
+                    .map(|(i, f)| (i % 2 == 0).then_some(f)),
+            );
+            assert_eq!(gappy.lanes(), n);
+            for l in (1..n).step_by(2) {
+                assert_eq!(gappy.lane_frame(l), vec![false; width], "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bitplane_matches_bool_bitplane_and_packed_engine() {
+        use crate::PackedFrames;
+        let net = random_net(91, &[(90, 33), (33, 7)]);
+        let p = crate::packed::PackedSnn::from_network(&net);
+        for count in [0usize, 1, 63, 64, 65, 130] {
+            let items = random_items(0xC0DE + count as u64, count, 90, 3);
+            let packed_items: Vec<PackedFrames> = items
+                .iter()
+                .map(|it| PackedFrames::from_bool_frames(90, it))
+                .collect();
+            let reference = p.predict_batch_bitplane(&items, 1);
+            for workers in [1usize, 2, 7] {
+                assert_eq!(
+                    p.predict_batch_bitplane_packed(&packed_items, workers),
+                    reference,
+                    "count {count} workers {workers}"
+                );
+            }
+            assert_eq!(p.predict_batch_packed(&packed_items, 1), reference);
+        }
+    }
+
+    #[test]
+    fn packed_group_counts_handle_mixed_frame_counts() {
+        use crate::PackedFrames;
+        let net = random_net(77, &[(70, 20), (20, 5)]);
+        let p = crate::packed::PackedSnn::from_network(&net);
+        let mut st = 0xFEEDu64;
+        let items: Vec<Vec<Vec<bool>>> = (0..40)
+            .map(|k| (0..k % 5).map(|_| random_frame(&mut st, 70)).collect())
+            .collect();
+        let packed_items: Vec<PackedFrames> = items
+            .iter()
+            .map(|it| PackedFrames::from_bool_frames(70, it))
+            .collect();
+        let mut s = BitplaneScratch::new();
+        let mut counts: Vec<Vec<u32>> = vec![Vec::new(); packed_items.len()];
+        p.bitplane_group_counts_packed(&packed_items, &mut s, &mut counts);
+        for (it, got) in items.iter().zip(&counts) {
+            assert_eq!(&p.forward_counts(it), got);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn packed_group_counts_width_mismatch_panics() {
+        let net = random_net(1, &[(10, 3)]);
+        let p = crate::packed::PackedSnn::from_network(&net);
+        let bad = crate::PackedFrames::from_bool_frames(9, &[vec![true; 9]]);
+        let mut s = BitplaneScratch::new();
+        let mut counts = vec![Vec::new()];
+        p.bitplane_group_counts_packed(&[bad], &mut s, &mut counts);
     }
 }

@@ -62,13 +62,15 @@ pub mod reload;
 pub mod stateless;
 pub mod timing;
 
-pub use backend::{Backend, BitplaneBackend, InferenceBackend, ScalarBackend, SelectedBackend};
+pub use backend::{
+    argmax_low, Backend, BitplaneBackend, InferenceBackend, ScalarBackend, SelectedBackend,
+};
 pub use batchplane::{BitplaneBatch, BitplaneScratch};
 pub use binarize::{BinarizedSnn, BinaryLayer};
 pub use bitslice::{Slice, SliceSchedule};
 pub use bucketing::{analyze_excursion, bucketed_order, inhibitory_first, Excursion};
 pub use compiler::{ChipProgram, Compiler};
 pub use convmap::binarize_conv;
-pub use packed::{PackedFrame, PackedLayer, PackedSnn, PredictScratch};
+pub use packed::{PackedFrame, PackedFrames, PackedLayer, PackedSnn, PredictScratch};
 pub use quantize::{QuantizedLayer, QuantizedSnn};
 pub use stateless::{ExecStats, FireSemantics, SsnnExecutor};

@@ -153,6 +153,194 @@ impl PackedFrame {
     }
 }
 
+/// A sequence of equal-width frames, each bit-packed into
+/// `width.div_ceil(64)` consecutive `u64` words with the
+/// [`PackedFrame`] bit layout (bit `i` of a frame in word `i / 64` at
+/// position `i % 64`, pad bits past `width` always zero).
+///
+/// This is the canonical packed *request* payload: one image's spike
+/// frames, packed once at the edge (from bools, wire bytes or raw
+/// words) and consumed by the engine without ever expanding back to
+/// bools — [`PackedSnn::predict_packed_with`] /
+/// [`PackedSnn::predict_batch_packed`] on the per-image path and
+/// [`PackedSnn::bitplane_group_counts_packed`] on the batch path.
+/// `reset` + `push_frame_*` reuse the word allocation, so a long-lived
+/// holder (a serving connection, a load-generator client) refills one
+/// of these allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedFrames {
+    width: usize,
+    words_per_frame: usize,
+    count: usize,
+    words: Vec<u64>,
+}
+
+impl PackedFrames {
+    /// An empty sequence of zero-bit frames; call [`PackedFrames::reset`]
+    /// to give it a width before pushing frames.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packs a slice of equal-width bool frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's width is not `width`.
+    pub fn from_bool_frames<F: AsRef<[bool]>>(width: usize, frames: &[F]) -> Self {
+        let mut p = Self::new();
+        p.reset(width);
+        for f in frames {
+            p.push_frame_from_bools(f.as_ref());
+        }
+        p
+    }
+
+    /// Clears all frames and sets the frame width, keeping the word
+    /// allocation for reuse.
+    pub fn reset(&mut self, width: usize) {
+        self.width = width;
+        self.words_per_frame = width.div_ceil(64);
+        self.count = 0;
+        self.words.clear();
+    }
+
+    /// Bits per frame.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of frames held.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no frames are held.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Words per packed frame (`width.div_ceil(64)`).
+    pub fn words_per_frame(&self) -> usize {
+        self.words_per_frame
+    }
+
+    /// The packed words of frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn frame(&self, t: usize) -> &[u64] {
+        assert!(t < self.count, "frame {t} out of {}", self.count);
+        &self.words[t * self.words_per_frame..(t + 1) * self.words_per_frame]
+    }
+
+    /// The frames in order, each as its packed words.
+    pub fn frames(&self) -> impl Iterator<Item = &[u64]> {
+        (0..self.count).map(move |t| self.frame(t))
+    }
+
+    /// Appends one frame from bools (branchless word-at-a-time packing,
+    /// the [`PackedFrame::fill_from_bools`] inner loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not exactly `width` bools long.
+    pub fn push_frame_from_bools(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.width, "frame width mismatch");
+        let base = self.words.len();
+        self.words.resize(base + self.words_per_frame, 0);
+        let dst = &mut self.words[base..];
+        let mut chunks = bits.chunks_exact(64);
+        let mut w = 0;
+        for chunk in &mut chunks {
+            let mut word = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                word |= u64::from(b) << bit;
+            }
+            dst[w] = word;
+            w += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = 0u64;
+            for (bit, &b) in rem.iter().enumerate() {
+                word |= u64::from(b) << bit;
+            }
+            dst[w] = word;
+        }
+        self.count += 1;
+    }
+
+    /// Appends one frame straight from its wire representation:
+    /// `width.div_ceil(8)` bytes, bits packed LSB-first (bit `i` in byte
+    /// `i / 8` at position `i % 8` — the `sushi-serve` socket frame
+    /// layout). Whole words are assembled with one little-endian load
+    /// per 8 bytes; pad bits past `width` in the final byte are masked
+    /// off, so the pad-bit invariant holds even for sloppy clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly `width.div_ceil(8)` bytes long.
+    pub fn push_frame_from_wire_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.width.div_ceil(8),
+            "wire frame byte count mismatch"
+        );
+        let base = self.words.len();
+        self.words.resize(base + self.words_per_frame, 0);
+        let dst = &mut self.words[base..];
+        let mut chunks = bytes.chunks_exact(8);
+        for (w, chunk) in chunks.by_ref().enumerate() {
+            dst[w] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            dst[bytes.len() / 8] = u64::from_le_bytes(tail);
+        }
+        if !self.width.is_multiple_of(64) && self.words_per_frame > 0 {
+            dst[self.words_per_frame - 1] &= (1u64 << (self.width % 64)) - 1;
+        }
+        self.count += 1;
+    }
+
+    /// Appends one frame from already-packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count is not `words_per_frame` or a pad bit
+    /// past `width` is set.
+    pub fn push_frame_from_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.words_per_frame,
+            "frame word count mismatch"
+        );
+        if !self.width.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last >> (self.width % 64), 0, "pad bits set past width");
+            }
+        }
+        self.words.extend_from_slice(words);
+        self.count += 1;
+    }
+
+    /// Unpacks every frame back to bools (diagnostics and tests; the
+    /// serving path never does this).
+    pub fn to_bool_frames(&self) -> Vec<Vec<bool>> {
+        self.frames()
+            .map(|w| {
+                (0..self.width)
+                    .map(|i| w[i >> 6] >> (i & 63) & 1 == 1)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
 /// One binarized layer with its sign columns bit-packed, column-major.
 ///
 /// Built once from the row-major sign matrix; [`crate::BinaryLayer`]
@@ -456,7 +644,20 @@ impl PackedLayer {
     ///
     /// Panics on input-width mismatch.
     pub fn step_into(&self, x: &PackedFrame, out: &mut PackedFrame, acc: &mut Vec<i64>) {
-        self.accumulate_into(x, acc);
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        self.step_words_into(x.words(), out, acc);
+    }
+
+    /// [`PackedLayer::step_into`] on a borrowed word slice — the
+    /// zero-copy entry the packed request path uses to feed a
+    /// [`PackedFrames`] frame to the first layer without staging it in
+    /// a [`PackedFrame`] first. The caller guarantees `xw` is a packed
+    /// frame of exactly this layer's input width (pad bits zero).
+    pub(crate) fn step_words_into(&self, xw: &[u64], out: &mut PackedFrame, acc: &mut Vec<i64>) {
+        debug_assert_eq!(xw.len(), self.words, "input word count mismatch");
+        acc.clear();
+        acc.resize(self.outputs, 0);
+        self.full_sweep_dispatch(xw, acc);
         out.reset(self.outputs);
         for (j, (&a, &t)) in acc.iter().zip(&self.thresholds).enumerate() {
             if a >= t {
@@ -571,6 +772,7 @@ pub struct PredictScratch {
     x: PackedFrame,
     y: PackedFrame,
     acc: Vec<i64>,
+    counts: Vec<u32>,
 }
 
 impl PredictScratch {
@@ -712,6 +914,109 @@ impl PackedSnn {
     /// Panics on input-width mismatch.
     pub fn predict_with(&self, frames: &[Vec<bool>], s: &mut PredictScratch) -> usize {
         argmax_low(&self.forward_counts_with(frames, s))
+    }
+
+    /// Like [`PackedSnn::step_scratch`] but with the input frame borrowed
+    /// as raw packed words: the first layer consumes `xw` directly, so a
+    /// [`PackedFrames`] payload feeds the engine with no copy at all.
+    fn step_scratch_words(&self, xw: &[u64], s: &mut PredictScratch) {
+        let mut layers = self.layers.iter();
+        layers
+            .next()
+            .expect("non-empty")
+            .step_words_into(xw, &mut s.x, &mut s.acc);
+        for layer in layers {
+            layer.step_into(&s.x, &mut s.y, &mut s.acc);
+            std::mem::swap(&mut s.x, &mut s.y);
+        }
+    }
+
+    /// [`PackedSnn::forward_counts_with`] for an already-packed frame
+    /// sequence, written into a caller-owned `counts` buffer (cleared and
+    /// resized here) — the fully allocation-free inner loop of the
+    /// serving layer. Bitwise identical to the bool path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch (an empty request must still carry
+    /// the network's width via [`PackedFrames::reset`]).
+    pub fn forward_counts_packed_into(
+        &self,
+        frames: &PackedFrames,
+        s: &mut PredictScratch,
+        counts: &mut Vec<u32>,
+    ) {
+        assert_eq!(frames.width(), self.input_width(), "input width mismatch");
+        counts.clear();
+        counts.resize(self.classes(), 0);
+        for t in 0..frames.len() {
+            self.step_scratch_words(frames.frame(t), s);
+            for (j, c) in counts.iter_mut().enumerate() {
+                *c += u32::from(s.x.get(j));
+            }
+        }
+    }
+
+    /// Per-class spike counts of an already-packed frame sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn forward_counts_packed(&self, frames: &PackedFrames) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.forward_counts_packed_into(frames, &mut PredictScratch::default(), &mut counts);
+        counts
+    }
+
+    /// Predicted class of an already-packed frame sequence with
+    /// caller-owned buffers — the scratch carries its own counts buffer,
+    /// so steady-state calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch.
+    pub fn predict_packed_with(&self, frames: &PackedFrames, s: &mut PredictScratch) -> usize {
+        let mut counts = std::mem::take(&mut s.counts);
+        self.forward_counts_packed_into(frames, s, &mut counts);
+        let class = argmax_low(&counts);
+        s.counts = counts;
+        class
+    }
+
+    /// [`PackedSnn::predict_batch`] for already-packed items: contiguous
+    /// near-equal chunks, one scratch per worker, input-ordered and
+    /// worker-count invariant — and bitwise identical to the bool path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-width mismatch or if a worker thread panics (none
+    /// originate in the engine itself).
+    pub fn predict_batch_packed(&self, items: &[PackedFrames], workers: usize) -> Vec<usize> {
+        let mut preds = vec![0usize; items.len()];
+        let plan = chunk_plan(items.len(), workers);
+        if plan.len() <= 1 {
+            let mut s = PredictScratch::default();
+            for (item, slot) in items.iter().zip(preds.iter_mut()) {
+                *slot = self.predict_packed_with(item, &mut s);
+            }
+            return preds;
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut rest = preds.as_mut_slice();
+            for r in &plan {
+                let (out_chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let item_chunk = &items[r.clone()];
+                scope.spawn(move |_| {
+                    let mut s = PredictScratch::default();
+                    for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = self.predict_packed_with(item, &mut s);
+                    }
+                });
+            }
+        })
+        .expect("predict_batch_packed worker panicked");
+        preds
     }
 
     /// Predicts every item of a dataset (one frame sequence per item) on a
@@ -971,6 +1276,114 @@ mod tests {
             let scalar = (0..130).filter(|&i| layer.sign(i, j) < 0).count();
             assert_eq!(layer.packed().inhibitory_count(j), scalar, "col {j}");
         }
+    }
+
+    #[test]
+    fn packed_frames_roundtrip_from_every_source() {
+        for width in [1usize, 63, 64, 65, 130] {
+            let mut st = 0x91u64 + width as u64;
+            let frames: Vec<Vec<bool>> = (0..5).map(|_| random_frame(&mut st, width)).collect();
+            let from_bools = PackedFrames::from_bool_frames(width, &frames);
+            assert_eq!(from_bools.width(), width);
+            assert_eq!(from_bools.len(), 5);
+            assert_eq!(from_bools.to_bool_frames(), frames, "width {width}");
+            // Wire bytes: LSB-first packed bytes, garbage in the pad bits
+            // of the last byte must be masked off.
+            let mut from_wire = PackedFrames::new();
+            from_wire.reset(width);
+            for f in &frames {
+                let mut bytes = vec![0u8; width.div_ceil(8)];
+                for (i, &bit) in f.iter().enumerate() {
+                    if bit {
+                        bytes[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                if width % 8 != 0 {
+                    *bytes.last_mut().unwrap() |= 0xFFu8 << (width % 8);
+                }
+                from_wire.push_frame_from_wire_bytes(&bytes);
+            }
+            assert_eq!(from_wire, from_bools, "wire decode at width {width}");
+            // Raw words round-trip and keep the pad-bit invariant.
+            let mut from_words = PackedFrames::new();
+            from_words.reset(width);
+            for w in from_bools.frames() {
+                from_words.push_frame_from_words(w);
+            }
+            assert_eq!(from_words, from_bools);
+            for w in from_bools.frames() {
+                if width % 64 != 0 {
+                    assert_eq!(w.last().unwrap() >> (width % 64), 0, "pad bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_frames_reset_reuses_allocation() {
+        let mut st = 3u64;
+        let mut p = PackedFrames::new();
+        p.reset(100);
+        for _ in 0..4 {
+            p.push_frame_from_bools(&random_frame(&mut st, 100));
+        }
+        p.reset(100);
+        assert!(p.is_empty());
+        let frame = random_frame(&mut st, 100);
+        p.push_frame_from_bools(&frame);
+        assert_eq!(p.to_bool_frames(), vec![frame]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad bits set past width")]
+    fn packed_frames_rejects_dirty_pad_words() {
+        let mut p = PackedFrames::new();
+        p.reset(10);
+        p.push_frame_from_words(&[1 << 10]);
+    }
+
+    #[test]
+    fn packed_request_path_matches_bool_path() {
+        let net = random_net(121, &[(97, 23), (23, 6)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0x7E57u64;
+        let mut s = PredictScratch::new();
+        for n_frames in [0usize, 1, 4] {
+            let frames: Vec<Vec<bool>> = (0..n_frames).map(|_| random_frame(&mut st, 97)).collect();
+            let mut packed = PackedFrames::from_bool_frames(97, &frames);
+            if n_frames == 0 {
+                packed.reset(97);
+            }
+            assert_eq!(
+                p.forward_counts_packed(&packed),
+                p.forward_counts(&frames),
+                "{n_frames} frames"
+            );
+            assert_eq!(p.predict_packed_with(&packed, &mut s), p.predict(&frames));
+        }
+    }
+
+    #[test]
+    fn predict_batch_packed_is_worker_invariant_and_matches_bools() {
+        let net = random_net(77, &[(90, 17), (17, 6)]);
+        let p = PackedSnn::from_network(&net);
+        let mut st = 0xB00Cu64;
+        let items: Vec<Vec<Vec<bool>>> = (0..13)
+            .map(|_| (0..5).map(|_| random_frame(&mut st, 90)).collect())
+            .collect();
+        let packed_items: Vec<PackedFrames> = items
+            .iter()
+            .map(|it| PackedFrames::from_bool_frames(90, it))
+            .collect();
+        let reference = p.predict_batch(&items, 1);
+        for workers in [1usize, 2, 7] {
+            assert_eq!(
+                p.predict_batch_packed(&packed_items, workers),
+                reference,
+                "w={workers}"
+            );
+        }
+        assert_eq!(p.predict_batch_packed(&[], 4), vec![]);
     }
 
     #[test]

@@ -229,18 +229,29 @@ if [[ "$mode" == full ]]; then
 fi
 
 # The serving summary: the serve binary already emits the full payload;
-# stamp it with commit/mode/date.
+# stamp it with commit/mode/date plus the pre-pipeline baseline (the
+# tracked BENCH_serve.json recorded at commit 9ce6bef0454e: one global
+# dispatcher, bool-frame requests, per-request channels).
+serve_baseline_batched=26425.82
+serve_baseline_commit="9ce6bef0454e"
 jq --arg commit "$commit" --arg mode "$mode" --arg date "$stamp" \
-  '{commit: $commit, mode: $mode, generated_utc: $date} + .' \
+  --argjson base "$serve_baseline_batched" --arg basecommit "$serve_baseline_commit" \
+  '{commit: $commit, mode: $mode, generated_utc: $date,
+    baseline: {commit: $basecommit, batched_images_per_s: $base}} + .' \
   "$raw_serve" > "$tmp_serve"
 
 # Structural gate in both modes: all three scenarios reported with
-# positive served throughput and latency percentiles present.
+# positive served throughput, latency percentiles present, and the
+# sharded-pipeline headline fields populated.
 jq -e '
   .commit and .host_cpus >= 1
   and .headline.serialized_images_per_s > 0
+  and .headline.serialized_p50_us > 0
   and .headline.batched_images_per_s > 0
   and .headline.mean_batch_size > 1
+  and .headline.shards >= 1
+  and .headline.executors >= 1
+  and .headline.stolen_batches >= 0
   and .serialized.latency.p99_us > 0
   and .batched.latency.p99_us > 0
   and .overload.sent > 0
@@ -263,6 +274,14 @@ if [[ "$mode" == full ]]; then
   if jq -e '.host_cpus >= 4' "$tmp_serve" >/dev/null; then
     jq -e '.headline.batch_speedup >= 3' "$tmp_serve" >/dev/null \
       || { echo "bench.sh: micro-batch speedup below 3x on a >=4-core host" >&2; exit 1; }
+    # Regression gate against the pre-pipeline baseline stamped above:
+    # the sharded multi-executor pipeline must hold at least a 1.3x
+    # batched-throughput lead. Gated on host parallelism for the same
+    # reason as the speedup gate above — shards and executors only help
+    # where cores exist to run them.
+    jq -e '.headline.batched_images_per_s >= 1.3 * .baseline.batched_images_per_s' \
+      "$tmp_serve" >/dev/null \
+      || { echo "bench.sh: batched throughput below 1.3x the $serve_baseline_commit baseline ($serve_baseline_batched img/s)" >&2; exit 1; }
   fi
 fi
 

@@ -26,6 +26,8 @@ bench_out="$(cargo run --release -q -p sushi-bench -- --quick bench)"
 grep -q "hot cells:" <<<"$bench_out"
 grep -q "packed SSNN engine" <<<"$bench_out"
 grep -q "bitplane batch engine" <<<"$bench_out"
+grep -q "serving pipeline (sharded micro-batching)" <<<"$bench_out"
+grep -q "shards .* | executors " <<<"$bench_out"
 grep -q "training kernels" <<<"$bench_out"
 
 echo "==> criterion + serve bench smoke (scripts/bench.sh --smoke)"
